@@ -1,0 +1,330 @@
+(* abc — command-line laboratory for the ABC model reproduction.
+
+   Subcommands:
+     check      admissibility of a scenario / random execution graph
+     threshold  exact max relevant-cycle ratio (inf of admissible Xi)
+     assign     normalized delay assignment (Theorem 7)
+     simulate   run Byzantine clock synchronization (Algorithm 1)
+     consensus  run EIG consensus over lock-step rounds (Algorithm 2)
+     detect     run the Fig. 3 failure detector
+     omega      run the Omega leader-election construction
+
+   Examples:
+     abc check --scenario fig1 --xi 3/2
+     abc check --scenario random --seed 7 --events 40 --xi 2
+     abc assign --scenario fig3 --xi 9/4
+     abc simulate --procs 7 --faulty 2 --events 800
+     abc consensus --seed 3
+*)
+
+open Cmdliner
+open Core
+open Execgraph
+
+let q = Rat.of_ints
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments *)
+
+let xi_conv =
+  let parse s =
+    match Rat.of_string s with
+    | x when Rat.compare x Rat.one > 0 -> Ok x
+    | _ -> Error (`Msg "Xi must be a rational > 1, e.g. 3/2 or 2")
+    | exception _ -> Error (`Msg "cannot parse rational (use e.g. 3/2, 2, 1.5)")
+  in
+  Arg.conv (parse, fun fmt x -> Format.fprintf fmt "%s" (Rat.to_string x))
+
+let xi_arg =
+  Arg.(value & opt xi_conv (q 2 1) & info [ "xi" ] ~docv:"XI" ~doc:"Synchrony parameter \xce\x9e > 1 (rational).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let events_arg ~default =
+  Arg.(value & opt int default & info [ "events" ] ~docv:"N" ~doc:"Receive-event budget.")
+
+let procs_arg ~default =
+  Arg.(value & opt int default & info [ "procs" ] ~docv:"N" ~doc:"Number of processes.")
+
+let scenario_arg =
+  let doc =
+    "Scenario: fig1 (spanning relevant cycle), fig3 (late reply), fig4 (early reply), \
+     fig8 (isolated slow message), fifo (Fig. 10 reordering), or random."
+  in
+  Arg.(value & opt string "fig1" & info [ "scenario" ] ~docv:"NAME" ~doc)
+
+let build_scenario name ~seed ~events =
+  match name with
+  | "fig1" -> Ok (Scenarios.spanning_cycle ~k1:4 ~k2:5 ())
+  | "fig3" -> Ok (Scenarios.timeout ~chain:4 ())
+  | "fig4" -> Ok (Scenarios.timeout_early ~chain:4 ())
+  | "fig8" -> Ok (Scenarios.isolated_slow ~exchanges:8 ())
+  | "fifo" ->
+      Ok (Fifo.build ~n_messages:3 ~chatter:4 ~reordered:(Some 0) ()).Fifo.graph
+      |> fun g -> g
+  | "random" ->
+      let rng = Random.State.make [| seed |] in
+      Ok (Generate.random_execution rng ~nprocs:4 ~max_events:events ~max_delay:3 ~fanout:2)
+  | other -> Error (Printf.sprintf "unknown scenario %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* check *)
+
+let cmd_check =
+  let run scenario xi seed events =
+    match build_scenario scenario ~seed ~events with
+    | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+    | Ok g ->
+        Format.printf "scenario %s: %d events, %d messages@." scenario
+          (Graph.event_count g) (Graph.message_count g);
+        (match Abc_check.check g ~xi with
+        | Abc_check.Admissible ->
+            Format.printf "admissible for Xi = %s@." (Rat.to_string xi)
+        | Abc_check.Violation c ->
+            Format.printf "VIOLATION at Xi = %s: relevant cycle with |Z-| = %d, |Z+| = %d (ratio %s)@."
+              (Rat.to_string xi) c.Cycle.backward_messages c.Cycle.forward_messages
+              (Rat.to_string (Cycle.ratio c)));
+        0
+  in
+  let term = Term.(const run $ scenario_arg $ xi_arg $ seed_arg $ events_arg ~default:30) in
+  Cmd.v (Cmd.info "check" ~doc:"Check ABC admissibility (Definition 4) of a scenario.") term
+
+(* ------------------------------------------------------------------ *)
+(* threshold *)
+
+let cmd_threshold =
+  let run scenario seed events =
+    match build_scenario scenario ~seed ~events with
+    | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+    | Ok g ->
+        Format.printf "max relevant-cycle ratio: %s@." (Abc.admissibility_threshold g);
+        0
+  in
+  let term = Term.(const run $ scenario_arg $ seed_arg $ events_arg ~default:30) in
+  Cmd.v
+    (Cmd.info "threshold"
+       ~doc:"Exact maximum relevant-cycle ratio (the infimum of admissible Xi).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* assign *)
+
+let cmd_assign =
+  let run scenario xi seed events faithful =
+    match build_scenario scenario ~seed ~events with
+    | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+    | Ok g ->
+        if faithful then begin
+          match Delay_assignment.solve_faithful g ~xi with
+          | Delay_assignment.Assignment delays ->
+              Format.printf "feasible (paper's Fig. 6 system); delays in (1, %s):@."
+                (Rat.to_string xi);
+              List.iter
+                (fun (id, d) -> Format.printf "  message e%d: %s@." id (Rat.to_string d))
+                delays;
+              Format.printf "verified: %b@." (Delay_assignment.verify_faithful g ~xi delays);
+              0
+          | Delay_assignment.Farkas cert ->
+              Format.printf "infeasible: Farkas certificate with y^T b = %s%s@."
+                (Rat.to_string cert.Lp.y_b)
+                (if cert.Lp.strict_involved then " (strict rows involved)" else "");
+              0
+        end
+        else begin
+          match Delay_assignment.solve_fast g ~xi with
+          | Some a ->
+              Format.printf "feasible; event times and delays (epsilon = %s):@."
+                (Rat.to_string a.Delay_assignment.epsilon);
+              List.iter
+                (fun (id, d) -> Format.printf "  message e%d: tau = %s@." id (Rat.to_string d))
+                a.Delay_assignment.delays;
+              Format.printf "verified: %b@." (Delay_assignment.verify g ~xi a);
+              0
+          | None ->
+              Format.printf "infeasible: the graph violates the ABC condition for Xi = %s@."
+                (Rat.to_string xi);
+              0
+        end
+  in
+  let faithful =
+    Arg.(value & flag & info [ "faithful" ] ~doc:"Use the paper's Fig. 6 linear system (exponential cycle enumeration) instead of the fast potential solver.")
+  in
+  let term =
+    Term.(const run $ scenario_arg $ xi_arg $ seed_arg $ events_arg ~default:20 $ faithful)
+  in
+  Cmd.v
+    (Cmd.info "assign" ~doc:"Compute a normalized delay assignment (Theorem 7).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let cmd_simulate =
+  let run procs f events seed xi =
+    if procs < (3 * f) + 1 then begin
+      Format.eprintf "error: need n >= 3f + 1 (got n = %d, f = %d)@." procs f;
+      1
+    end
+    else begin
+      let rng = Random.State.make [| seed |] in
+      let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) () in
+      let faults = Array.make procs Sim.Correct in
+      if f >= 1 then faults.(procs - 1) <- Sim.Byzantine;
+      if f >= 2 then faults.(procs - 2) <- Sim.Crash 20;
+      let byz = if f >= 1 then Some (Clock_sync.byzantine_rusher ~ahead:5) else None in
+      let cfg =
+        Sim.make_config ?byzantine:byz ~nprocs:procs
+          ~algorithm:(Clock_sync.algorithm ~f) ~faults ~scheduler ~max_events:events ()
+      in
+      let r = Sim.run cfg in
+      let correct =
+        List.filter (fun p -> faults.(p) = Sim.Correct) (List.init procs Fun.id)
+      in
+      Format.printf "clock synchronization: n = %d, f = %d, %d events@." procs f r.Sim.delivered;
+      Array.iteri
+        (fun p st -> Format.printf "  p%d: C = %d@." p (Clock_sync.clock st))
+        r.Sim.final_states;
+      let input = { Clock_sync.result = r; correct; xi } in
+      Format.printf "max skew on consistent cuts: %d (bound 2Xi = %d)@."
+        (Clock_sync.max_skew_on_cuts input)
+        (Rat.floor_int (Rat.mul Rat.two xi));
+      let checked, violations = Clock_sync.causal_cone_violations input in
+      Format.printf "Lemma 4 checks: %d, violations: %d@." checked (List.length violations);
+      0
+    end
+  in
+  let f_arg = Arg.(value & opt int 1 & info [ "faulty"; "f" ] ~docv:"F" ~doc:"Fault budget.") in
+  let term =
+    Term.(const run $ procs_arg ~default:4 $ f_arg $ events_arg ~default:400 $ seed_arg $ xi_arg)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run Byzantine clock synchronization (Algorithm 1).") term
+
+(* ------------------------------------------------------------------ *)
+(* consensus *)
+
+let cmd_consensus =
+  let run seed xi =
+    let inputs = [| 1; 1; 1; 0 |] in
+    let rng = Random.State.make [| seed |] in
+    let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) () in
+    let algo = Consensus.Eig.algo ~f:1 ~value:(fun p -> inputs.(p)) in
+    let byz =
+      let real = Consensus.Eig.algo ~f:1 ~value:(fun _ -> 0) in
+      Lockstep.algorithm ~f:1 ~xi
+        {
+          Lockstep.r_init =
+            (fun ~self ~nprocs ->
+              let st, _ = real.Lockstep.r_init ~self ~nprocs in
+              (st, [ ([], 0) ]));
+          r_step =
+            (fun ~self ~nprocs:_ ~round st _ ->
+              (st, List.init round (fun i -> ([ (self + i) mod 4 ], i mod 2))));
+        }
+    in
+    let cfg =
+      Sim.make_config ~byzantine:byz ~nprocs:4
+        ~algorithm:(Lockstep.algorithm ~f:1 ~xi algo)
+        ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |]
+        ~scheduler ~max_events:4000
+        ~stop_when:(fun states ->
+          List.for_all
+            (fun p -> Consensus.Eig.decision (Lockstep.round_state states.(p)) <> None)
+            [ 0; 1; 2 ])
+        ()
+    in
+    let r = Sim.run cfg in
+    Format.printf "EIG over lock-step rounds (n = 4, f = 1 Byzantine), %d events@."
+      r.Sim.delivered;
+    let decisions =
+      List.map
+        (fun p -> (p, Consensus.Eig.decision (Lockstep.round_state r.Sim.final_states.(p))))
+        [ 0; 1; 2 ]
+    in
+    List.iter
+      (fun (p, d) ->
+        Format.printf "  p%d decides %s@." p
+          (match d with Some v -> string_of_int v | None -> "-"))
+      decisions;
+    Format.printf "agreement + validity: %b@."
+      (Consensus.check_agreement decisions ~inputs:[ 1; 1; 1 ]);
+    0
+  in
+  let term = Term.(const run $ seed_arg $ xi_arg) in
+  Cmd.v (Cmd.info "consensus" ~doc:"Run EIG Byzantine consensus over lock-step rounds.") term
+
+(* ------------------------------------------------------------------ *)
+(* detect *)
+
+let cmd_detect =
+  let run seed xi crash =
+    let rng = Random.State.make [| seed |] in
+    let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 2 1) ~tau_plus:(q 3 1) () in
+    let faults = Array.make 4 Sim.Correct in
+    if crash then faults.(3) <- Sim.Crash 1;
+    let cfg =
+      Sim.make_config ~nprocs:4
+        ~algorithm:(Failure_detector.algorithm ~xi ~rounds:3)
+        ~faults ~scheduler ~max_events:500 ()
+    in
+    let r = Sim.run cfg in
+    let crashed = if crash then [ 3 ] else [] in
+    let false_susp, missed = Failure_detector.accuracy r ~crashed in
+    Format.printf "Fig. 3 failure detector (Xi = %s, chain length %d), %d events@."
+      (Rat.to_string xi)
+      (Rat.ceil_int (Rat.mul Rat.two xi))
+      r.Sim.delivered;
+    Format.printf "suspects: [%s]@."
+      (String.concat "; " (List.map string_of_int (Failure_detector.suspects r.Sim.final_states.(0))));
+    Format.printf "false suspicions: %d, missed crashes: %d@." (List.length false_susp)
+      (List.length missed);
+    0
+  in
+  let crash = Arg.(value & flag & info [ "crash" ] ~doc:"Crash process 3 at its first step.") in
+  let term = Term.(const run $ seed_arg $ xi_arg $ crash) in
+  Cmd.v (Cmd.info "detect" ~doc:"Run the Fig. 3 \xce\x9e-timeout failure detector.") term
+
+(* ------------------------------------------------------------------ *)
+(* omega *)
+
+let cmd_omega =
+  let run seed xi crash0 =
+    let rng = Random.State.make [| seed |] in
+    let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) () in
+    let faults = Array.make 4 Sim.Correct in
+    if crash0 then faults.(0) <- Sim.Crash 2;
+    let cfg =
+      Sim.make_config ~nprocs:4 ~algorithm:(Omega.algorithm ~f:1 ~xi) ~faults ~scheduler
+        ~max_events:500 ()
+    in
+    let r = Sim.run cfg in
+    let correct =
+      List.filter (fun p -> faults.(p) = Sim.Correct) (List.init 4 Fun.id)
+    in
+    let leaders, expected, agree = Omega.converged r ~correct in
+    Format.printf "Omega leader election (Xi = %s)%s:@." (Rat.to_string xi)
+      (if crash0 then ", process 0 crashed" else "");
+    List.iter (fun (p, l) -> Format.printf "  p%d trusts p%d@." p l) leaders;
+    Format.printf "converged to the smallest correct id (%d): %b@." expected agree;
+    0
+  in
+  let crash0 = Arg.(value & flag & info [ "crash0" ] ~doc:"Crash process 0 early.") in
+  let term = Term.(const run $ seed_arg $ xi_arg $ crash0) in
+  Cmd.v (Cmd.info "omega" ~doc:"Run the Omega leader-election construction.") term
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "laboratory for the Asynchronous Bounded-Cycle model reproduction" in
+  let info = Cmd.info "abc" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ cmd_check; cmd_threshold; cmd_assign; cmd_simulate; cmd_consensus; cmd_detect; cmd_omega ]))

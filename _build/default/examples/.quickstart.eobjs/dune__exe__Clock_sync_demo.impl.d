@@ -1,0 +1,1 @@
+examples/clock_sync_demo.ml: Array Clock_sync Core Execgraph Format List Random Rat Sim

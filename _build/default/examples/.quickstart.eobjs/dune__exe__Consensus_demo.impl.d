@@ -1,0 +1,1 @@
+examples/consensus_demo.ml: Array Consensus Core Format List Lockstep Random Rat Sim

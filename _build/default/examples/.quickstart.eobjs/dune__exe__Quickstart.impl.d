@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abc_check Core Cycle Event Execgraph Format Graph List Rat

@@ -1,0 +1,1 @@
+examples/spacecraft_fifo.ml: Abc Array Core Execgraph Fifo Format Random Rat Sim Theta_model

@@ -1,0 +1,1 @@
+examples/spacecraft_fifo.mli:

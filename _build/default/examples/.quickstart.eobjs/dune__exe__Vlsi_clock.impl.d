@@ -1,0 +1,1 @@
+examples/vlsi_clock.ml: Array Clock_sync Core Execgraph Format List Random Rat Sim Theta_model

@@ -1,0 +1,441 @@
+(* Sign-magnitude bignum in base 2^30.
+
+   Invariants: [mag] is little-endian with no trailing (most-significant)
+   zero digit; [sign] is 0 iff [mag] is empty, otherwise -1 or 1.  All
+   functions below preserve these invariants, so structural equality is
+   numeric equality. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let check_invariant x =
+  let n = Array.length x.mag in
+  (if n = 0 then x.sign = 0 else x.sign = 1 || x.sign = -1)
+  && (n = 0 || x.mag.(n - 1) <> 0)
+  && Array.for_all (fun d -> d >= 0 && d < base) x.mag
+
+(* Strip most-significant zero digits; takes ownership of [a]. *)
+let normalize_mag a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let make sign mag =
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* |min_int| = max_int + 1, so compute the magnitude with a carry
+       rather than [abs], which is undefined on [min_int]. *)
+    let m = if n = min_int then max_int else Stdlib.abs n in
+    let extra = if n = min_int then 1 else 0 in
+    let d0 = (m land base_mask) + extra in
+    let carry = d0 lsr base_bits in
+    let d0 = d0 land base_mask in
+    let m1 = (m lsr base_bits) + carry in
+    let d1 = m1 land base_mask in
+    let d2 = m1 lsr base_bits in
+    make sign [| d0; d1; d2 |]
+  end
+
+let one = of_int 1
+let two = of_int 2
+let ten = of_int 10
+let minus_one = of_int (-1)
+let sign x = x.sign
+let is_zero x = x.sign = 0
+let is_negative x = x.sign < 0
+let is_positive x = x.sign > 0
+let is_one x = x.sign = 1 && Array.length x.mag = 1 && x.mag.(0) = 1
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let compare x y =
+  if x.sign <> y.sign then Stdlib.compare x.sign y.sign
+  else if x.sign >= 0 then compare_mag x.mag y.mag
+  else compare_mag y.mag x.mag
+
+let equal x y = compare x y = 0
+let hash x = Hashtbl.hash (x.sign, x.mag)
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = Stdlib.max la lb in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r.(l) <- !carry;
+  r
+
+(* Requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then make x.sign (add_mag x.mag y.mag)
+  else
+    let c = compare_mag x.mag y.mag in
+    if c = 0 then zero
+    else if c > 0 then make x.sign (sub_mag x.mag y.mag)
+    else make y.sign (sub_mag y.mag x.mag)
+
+let sub x y = add x (neg y)
+let succ x = add x one
+let pred x = sub x one
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          (* ai*bj <= (2^30-1)^2 < 2^60; + r + carry stays < 2^62. *)
+          let p = (ai * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- p land base_mask;
+          carry := p lsr base_bits
+        done;
+        r.(i + lb) <- r.(i + lb) + !carry
+      end
+    done;
+    r
+  end
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else make (x.sign * y.sign) (mul_mag x.mag y.mag)
+
+let mul_int x n = mul x (of_int n)
+
+(* Shift a magnitude left by [s] bits, 0 <= s < base_bits. *)
+let shl_mag_small a s =
+  if s = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl s) lor !carry in
+      r.(i) <- v land base_mask;
+      carry := v lsr base_bits
+    done;
+    r.(la) <- !carry;
+    r
+  end
+
+(* Shift a magnitude right by [s] bits, 0 <= s < base_bits (truncating). *)
+let shr_mag_small a s =
+  if s = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    for i = 0 to la - 1 do
+      let hi = if i + 1 < la then a.(i + 1) else 0 in
+      r.(i) <- (a.(i) lsr s) lor ((hi lsl (base_bits - s)) land base_mask)
+    done;
+    r
+  end
+
+(* Divide a magnitude by a single digit 0 < d < base; returns (q, r). *)
+let divmod_mag_digit a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+(* Knuth algorithm D on magnitudes; returns (q, r) with a = q*b + r,
+   0 <= r < b.  Requires b <> 0. *)
+let divmod_mag a b =
+  let lb = Array.length b in
+  if lb = 0 then raise Division_by_zero;
+  if compare_mag a b < 0 then ([||], Array.copy a)
+  else if lb = 1 then begin
+    let q, r = divmod_mag_digit a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    (* Normalize so the top divisor digit has its high bit set. *)
+    let top = b.(lb - 1) in
+    let s = ref 0 in
+    while top lsl !s < base lsr 1 do
+      incr s
+    done;
+    let s = !s in
+    let v = normalize_mag (shl_mag_small b s) in
+    (* [u] must keep an explicit extra top digit (possibly 0): Knuth D
+       divides a (m+n+1)-digit dividend by an n-digit divisor.  When
+       [s = 0] the shift returns the original length, so extend. *)
+    let u0 = shl_mag_small a s in
+    let u = if Array.length u0 = Array.length a then Array.append u0 [| 0 |] else u0 in
+    let n = Array.length v in
+    let lu = Array.length u in
+    let m = lu - n - 1 in
+    let q = Array.make (m + 1) 0 in
+    let vtop = v.(n - 1) and vsnd = v.(n - 2) in
+    for j = m downto 0 do
+      let num = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+      let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+      let continue_fix = ref true in
+      while
+        !continue_fix
+        && (!qhat >= base || !qhat * vsnd > (!rhat lsl base_bits) lor u.(j + n - 2))
+      do
+        decr qhat;
+        rhat := !rhat + vtop;
+        if !rhat >= base then continue_fix := false
+      done;
+      (* Multiply and subtract. *)
+      let borrow = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !borrow in
+        borrow := p lsr base_bits;
+        let d = u.(j + i) - (p land base_mask) in
+        if d < 0 then begin
+          u.(j + i) <- d + base;
+          incr borrow
+        end
+        else u.(j + i) <- d
+      done;
+      let d = u.(j + n) - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add back. *)
+        u.(j + n) <- d + base;
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let sum = u.(j + i) + v.(i) + !carry in
+          u.(j + i) <- sum land base_mask;
+          carry := sum lsr base_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !carry) land base_mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = shr_mag_small (normalize_mag (Array.sub u 0 n)) s in
+    (q, r)
+  end
+
+let divmod x y =
+  if y.sign = 0 then raise Division_by_zero;
+  let qm, rm = divmod_mag x.mag y.mag in
+  let q0 = make (x.sign * y.sign) qm and r0 = make 1 rm in
+  if x.sign >= 0 || is_zero r0 then (q0, r0)
+  else
+    (* Euclidean adjustment: remainder must be non-negative. *)
+    let q = if y.sign > 0 then pred q0 else succ q0 in
+    (q, sub (abs y) r0)
+
+let div x y = fst (divmod x y)
+let rem x y = snd (divmod x y)
+
+let pow x k =
+  if k < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b k =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (k lsr 1)
+  in
+  go one x k
+
+let shift_left x s =
+  if s < 0 then invalid_arg "Bigint.shift_left";
+  if x.sign = 0 || s = 0 then x
+  else begin
+    let digits = s / base_bits and bits = s mod base_bits in
+    let shifted = shl_mag_small x.mag bits in
+    let mag = Array.append (Array.make digits 0) shifted in
+    make x.sign mag
+  end
+
+let shift_right x s =
+  if s < 0 then invalid_arg "Bigint.shift_right";
+  if x.sign = 0 || s = 0 then x
+  else begin
+    let digits = s / base_bits and bits = s mod base_bits in
+    let la = Array.length x.mag in
+    if digits >= la then if x.sign > 0 then zero else minus_one
+    else begin
+      let hi = Array.sub x.mag digits (la - digits) in
+      let truncated = make x.sign (shr_mag_small hi bits) in
+      if x.sign > 0 then truncated
+      else begin
+        (* Floor semantics for negatives: subtract 1 if any bit dropped. *)
+        let dropped = ref false in
+        for i = 0 to digits - 1 do
+          if x.mag.(i) <> 0 then dropped := true
+        done;
+        if bits > 0 && digits < la && x.mag.(digits) land ((1 lsl bits) - 1) <> 0 then
+          dropped := true;
+        if !dropped then pred truncated else truncated
+      end
+    end
+  end
+
+let rec gcd x y =
+  let x = abs x and y = abs y in
+  if is_zero y then x else gcd y (rem x y)
+
+let lcm x y = if is_zero x || is_zero y then zero else abs (div (mul x y) (gcd x y))
+
+(* 10^9 fits in one base-2^30 digit, so decimal I/O goes via 9-digit
+   chunks and single-digit division. *)
+let decimal_chunk = 1_000_000_000
+let decimal_chunk_digits = 9
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks mag acc =
+      if Array.length mag = 0 then acc
+      else
+        let q, r = divmod_mag_digit mag decimal_chunk in
+        chunks (normalize_mag q) (r :: acc)
+    in
+    (match chunks x.mag [] with
+    | [] -> assert false
+    | first :: rest ->
+        if x.sign < 0 then Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let s = String.concat "" (String.split_on_char '_' s) in
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty";
+  let sign, start =
+    match s.[0] with '-' -> (-1, 1) | '+' -> (1, 1) | _ -> (1, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  (* only digits may follow the optional sign *)
+  String.iteri
+    (fun i c ->
+      if i >= start && not (c >= '0' && c <= '9') then
+        invalid_arg "Bigint.of_string: bad character")
+    s;
+  let acc = ref zero in
+  let chunk_mult = of_int decimal_chunk in
+  let i = ref start in
+  (* Leading partial chunk so the remaining length is a multiple of 9. *)
+  let first_len =
+    let rem = (len - start) mod decimal_chunk_digits in
+    if rem = 0 then decimal_chunk_digits else rem
+  in
+  let first = int_of_string (String.sub s !i first_len) in
+  acc := of_int first;
+  i := !i + first_len;
+  while !i < len do
+    let c = int_of_string (String.sub s !i decimal_chunk_digits) in
+    acc := add (mul !acc chunk_mult) (of_int c);
+    i := !i + decimal_chunk_digits
+  done;
+  if sign < 0 then neg !acc else !acc
+
+let to_int x =
+  let n = Array.length x.mag in
+  if n = 0 then Some 0
+  else if n > 3 then None
+  else begin
+    let limit = Stdlib.max_int in
+    let v = ref 0 and ok = ref true in
+    for i = n - 1 downto 0 do
+      if !v > (limit - x.mag.(i)) lsr base_bits then ok := false
+      else v := (!v lsl base_bits) lor x.mag.(i)
+    done;
+    if !ok then Some (x.sign * !v) else None
+  end
+
+let to_int_exn x =
+  match to_int x with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int_exn: overflow"
+
+let to_float x =
+  let acc = ref 0.0 in
+  for i = Array.length x.mag - 1 downto 0 do
+    acc := (!acc *. float_of_int base) +. float_of_int x.mag.(i)
+  done;
+  float_of_int x.sign *. !acc
+
+let of_float_floor f =
+  if not (Float.is_finite f) then invalid_arg "Bigint.of_float_floor: not finite";
+  let m, e = Float.frexp f in
+  (* m * 2^53 is integral for every finite double. *)
+  let scaled = Int64.to_int (Int64.of_float (m *. 9007199254740992.0)) in
+  let x = of_int scaled in
+  let sh = e - 53 in
+  if sh >= 0 then shift_left x sh else shift_right x (-sh)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+module O = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( mod ) = rem
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) x y = not (equal x y)
+  let ( < ) x y = compare x y < 0
+  let ( <= ) x y = compare x y <= 0
+  let ( > ) x y = compare x y > 0
+  let ( >= ) x y = compare x y >= 0
+end

@@ -1,0 +1,129 @@
+(** Arbitrary-precision signed integers.
+
+    This module is a self-contained bignum substrate (the sealed build
+    environment has no [zarith]).  It provides exactly the operations
+    needed by the exact-rational layer ({!module:Rat}) and the simplex /
+    Farkas machinery of the ABC delay-assignment proof engine.
+
+    Representation: sign-magnitude with little-endian digit arrays in
+    base [2^30], so every digit product fits comfortably in OCaml's
+    63-bit native [int].  All values are normalized (no leading zero
+    digits; zero has positive sign and empty magnitude), which makes
+    structural equality coincide with numeric equality. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+val ten : t
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+(** [of_int n] converts a native integer exactly. *)
+
+val to_int : t -> int option
+(** [to_int x] is [Some n] if [x] fits in a native [int], else [None]. *)
+
+val to_int_exn : t -> int
+(** Like {!to_int} but raises [Failure] on overflow. *)
+
+val of_string : string -> t
+(** [of_string s] parses an optionally-signed decimal literal.
+    Underscores are permitted as digit separators.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal rendering, with a leading ['-'] for negatives. *)
+
+val of_float_floor : float -> t
+(** [of_float_floor f] is the floor of [f] as an integer.
+    @raise Invalid_argument if [f] is not finite. *)
+
+val to_float : t -> float
+(** Nearest-double approximation (may overflow to infinity). *)
+
+(** {1 Predicates and comparisons} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_negative : t -> bool
+val is_positive : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is the unique pair [(q, r)] with [a = q*b + r] and
+    [0 <= r < |b|] (Euclidean division: the remainder is never
+    negative).  @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+(** Euclidean quotient; see {!divmod}. *)
+
+val rem : t -> t -> t
+(** Euclidean remainder; see {!divmod}. *)
+
+val pow : t -> int -> t
+(** [pow x k] for [k >= 0].  @raise Invalid_argument on negative [k]. *)
+
+val shift_left : t -> int -> t
+(** Multiplication by a power of two. *)
+
+val shift_right : t -> int -> t
+(** Arithmetic shift: floor division by a power of two. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor, always non-negative; [gcd 0 0 = 0]. *)
+
+val lcm : t -> t -> t
+(** Least common multiple, always non-negative. *)
+
+val succ : t -> t
+val pred : t -> t
+
+(** {1 Infix operators}
+
+    Opened locally as [Bigint.O] where expression-heavy code benefits. *)
+
+module O : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( mod ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( <> ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Internal checks} *)
+
+val check_invariant : t -> bool
+(** [true] iff the value is in normal form (used by the test suite). *)

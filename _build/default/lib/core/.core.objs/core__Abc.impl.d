@@ -1,0 +1,1 @@
+lib/core/abc.ml: Abc_check Array Bigint Digraph Execgraph Graph List Rat

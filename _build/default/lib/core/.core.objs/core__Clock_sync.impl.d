@@ -1,0 +1,1 @@
+lib/core/clock_sync.ml: Array Cut Event Execgraph Fun Graph Hashtbl Int List Map Option Rat Set Sim

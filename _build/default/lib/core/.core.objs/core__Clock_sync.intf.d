@@ -1,0 +1,1 @@
+lib/core/clock_sync.mli: Execgraph Map Rat Set Sim

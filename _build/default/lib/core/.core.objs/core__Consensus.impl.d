@@ -1,0 +1,1 @@
+lib/core/consensus.ml: Array Fun Int List Lockstep Map Option Stdlib

@@ -1,0 +1,1 @@
+lib/core/delay_assignment.ml: Array Cycle Cyclespace Digraph Execgraph Graph Hashtbl List Lp Rat Simplex

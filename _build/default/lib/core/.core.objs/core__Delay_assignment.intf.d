@@ -1,0 +1,1 @@
+lib/core/delay_assignment.mli: Execgraph Lp Rat

@@ -1,0 +1,1 @@
+lib/core/failure_detector.ml: Array Fun Int List Rat Set Sim

@@ -1,0 +1,1 @@
+lib/core/failure_detector.mli: Rat Set Sim

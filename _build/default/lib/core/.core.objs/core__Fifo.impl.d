@@ -1,0 +1,1 @@
+lib/core/fifo.ml: Abc_check Array Event Execgraph Fun Graph List

@@ -1,0 +1,1 @@
+lib/core/fifo.mli: Execgraph Rat

@@ -1,0 +1,1 @@
+lib/core/lockstep.ml: Array Clock_sync Int List Map Option Rat Set Sim

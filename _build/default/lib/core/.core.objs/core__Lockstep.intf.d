@@ -1,0 +1,1 @@
+lib/core/lockstep.mli: Clock_sync Map Rat Set Sim

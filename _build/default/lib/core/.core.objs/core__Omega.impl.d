@@ -1,0 +1,1 @@
+lib/core/omega.ml: Array Clock_sync Int List Rat Set Sim

@@ -1,0 +1,1 @@
+lib/core/omega.mli: Clock_sync Rat Sim

@@ -1,0 +1,1 @@
+lib/core/parsync.ml: Abc_check Array Digraph Event Execgraph Graph List

@@ -1,0 +1,1 @@
+lib/core/parsync.mli: Digraph Execgraph Rat

@@ -1,0 +1,1 @@
+lib/core/related_models.ml: Array Int List Rat Set Sim

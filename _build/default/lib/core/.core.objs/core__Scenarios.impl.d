@@ -1,0 +1,1 @@
+lib/core/scenarios.ml: Abc_check Event Execgraph Graph

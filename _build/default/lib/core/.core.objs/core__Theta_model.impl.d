@@ -1,0 +1,1 @@
+lib/core/theta_model.ml: Abc_check Digraph Event Execgraph Graph List Rat

@@ -1,0 +1,1 @@
+lib/core/theta_model.mli: Digraph Execgraph Rat

@@ -1,0 +1,1 @@
+lib/core/variants.ml: Abc_check Cycle Digraph Event Execgraph Graph Hashtbl List Rat

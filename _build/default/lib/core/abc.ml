@@ -1,0 +1,108 @@
+(** The ABC model (Section 2): parameters and admissibility.
+
+    The model is parameterized by a rational synchrony parameter Ξ > 1
+    (Definition 4).  This module wraps the checkers of
+    {!Execgraph.Abc_check} and adds the {e exact maximum relevant-cycle
+    ratio} of an execution graph — the infimum of the admissible Ξ —
+    computed in polynomial time by parametric search (Lawler-style
+    binary search over the checker, with exact rational recovery via
+    the Stern–Brocot simplest-fraction construction). *)
+
+open Execgraph
+
+type params = { xi : Rat.t  (** the synchrony parameter Ξ > 1 *) }
+
+let make_params xi =
+  if Rat.compare xi Rat.one <= 0 then invalid_arg "Abc.make_params: need Xi > 1";
+  { xi }
+
+let is_admissible g ~params = Abc_check.is_admissible g ~xi:params.xi
+let check g ~params = Abc_check.check g ~xi:params.xi
+
+(* Bigint-weighted Bellman-Ford: the parametric search probes ratios
+   whose denominators grow with the search precision, so scaled native
+   ints could overflow. *)
+module BF_big = Digraph.Bellman_ford (struct
+  type t = Bigint.t
+
+  let zero = Bigint.zero
+  let add = Bigint.add
+  let compare = Bigint.compare
+end)
+
+(* Is there a relevant cycle with ratio >= a/b?  Same reduction as
+   Execgraph.Abc_check (see there for the proof), with exact big-integer
+   weights. *)
+let violation_at g ~num ~den =
+  let h = Digraph.create (Graph.event_count g) in
+  let weights = ref [] in
+  List.iter
+    (fun (e : Digraph.edge) ->
+      if Graph.is_message g e then begin
+        ignore (Digraph.add_edge h ~src:e.src ~dst:e.dst);
+        weights := num :: !weights;
+        ignore (Digraph.add_edge h ~src:e.dst ~dst:e.src);
+        weights := Bigint.neg den :: !weights
+      end
+      else begin
+        ignore (Digraph.add_edge h ~src:e.dst ~dst:e.src);
+        weights := Bigint.zero :: !weights
+      end)
+    (Digraph.edges (Graph.digraph g));
+  let weights = Array.of_list (List.rev !weights) in
+  let m = Digraph.edge_count h in
+  let mb = Bigint.of_int (m + 1) in
+  let scaled (e : Digraph.edge) = Bigint.sub (Bigint.mul mb weights.(e.id)) Bigint.one in
+  BF_big.negative_cycle h ~weight:scaled <> None
+
+(* Simplest rational in the closed interval [lo, hi] (smallest
+   denominator, then smallest numerator), by continued-fraction
+   descent.  Requires 0 < lo <= hi. *)
+let rec simplest_between lo hi =
+  let fl = Rat.floor lo in
+  let fl_r = Rat.of_bigint fl in
+  let cl = Rat.of_bigint (Rat.ceil lo) in
+  if Rat.compare cl (Rat.of_bigint (Rat.floor hi)) <= 0 || Rat.is_integer lo then
+    (* an integer lies in the interval *)
+    if Rat.is_integer lo then lo else cl
+  else
+    (* lo and hi share the integer part fl; recurse on the fractional
+       parts, inverted (which swaps the roles of lo and hi) *)
+    let lo' = Rat.inv (Rat.sub hi fl_r) and hi' = Rat.inv (Rat.sub lo fl_r) in
+    Rat.add fl_r (Rat.inv (simplest_between lo' hi'))
+
+(** The maximum ratio [|Z−|/|Z+|] over the relevant cycles of [g]:
+    [Some r] means [g] is admissible exactly for every [Ξ > r];
+    [None] means every relevant cycle has ratio [≤ 1] (or there is no
+    relevant cycle), so [g] is admissible for {e every} [Ξ > 1]. *)
+let max_relevant_ratio g =
+  let m = Graph.message_count g in
+  if m = 0 then None
+  else begin
+    let viol r = violation_at g ~num:(Rat.num r) ~den:(Rat.den r) in
+    (* smallest candidate ratio > 1 is (f+1)/f >= (m+1)/m *)
+    let eps_probe = Rat.of_ints (m + m + 1) (m + m) in
+    if not (viol eps_probe) then None
+    else begin
+      (* binary search: viol lo = true, viol hi = false, answer in [lo, hi) *)
+      let lo = ref eps_probe and hi = ref (Rat.of_int (m + 1)) in
+      let width_target = Rat.of_ints 1 ((m * m) + 1) in
+      while Rat.compare (Rat.sub !hi !lo) width_target > 0 do
+        let mid = Rat.div (Rat.add !lo !hi) Rat.two in
+        if viol mid then lo := mid else hi := mid
+      done;
+      (* the interval [lo, hi) has width < 1/m^2, so it contains exactly
+         one fraction with numerator and denominator <= m: the answer.
+         It is the simplest fraction in the interval. *)
+      let c = simplest_between !lo !hi in
+      assert (viol c);
+      Some c
+    end
+  end
+
+(** Convenience: smallest Ξ (exclusive bound) for which [g] is
+    admissible, as a printable string. *)
+let admissibility_threshold g =
+  match max_relevant_ratio g with
+  | None -> "1 (admissible for every Xi > 1)"
+  | Some r -> Rat.to_string r

@@ -1,0 +1,31 @@
+(** The ABC model (Section 2): parameters and admissibility.
+
+    The model is parameterized by a rational synchrony parameter Ξ > 1
+    (Definition 4).  Besides wrapping the checkers of
+    [Execgraph.Abc_check], this module computes the {e exact maximum
+    relevant-cycle ratio} of an execution graph — the infimum of the
+    admissible Ξ — in polynomial time by parametric search
+    (Lawler-style binary search over the checker with big-integer
+    weights, with exact rational recovery via the Stern–Brocot
+    simplest-fraction construction). *)
+
+type params = { xi : Rat.t  (** the synchrony parameter Ξ > 1 *) }
+
+val make_params : Rat.t -> params
+(** @raise Invalid_argument unless [Ξ > 1]. *)
+
+val is_admissible : Execgraph.Graph.t -> params:params -> bool
+val check : Execgraph.Graph.t -> params:params -> Execgraph.Abc_check.verdict
+
+val simplest_between : Rat.t -> Rat.t -> Rat.t
+(** The simplest rational (smallest denominator) in a closed positive
+    interval, by continued-fraction descent; exposed for tests. *)
+
+val max_relevant_ratio : Execgraph.Graph.t -> Rat.t option
+(** The maximum ratio [|Z−|/|Z+|] over the relevant cycles: [Some r]
+    means the graph is admissible exactly for every [Ξ > r]; [None]
+    means every relevant cycle has ratio ≤ 1 (or there is none), i.e.
+    admissible for {e every} Ξ > 1. *)
+
+val admissibility_threshold : Execgraph.Graph.t -> string
+(** {!max_relevant_ratio}, rendered for reports. *)

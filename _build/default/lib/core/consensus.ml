@@ -1,0 +1,367 @@
+(** Byzantine consensus on top of lock-step rounds (Section 3 / 6: any
+    synchronous Byzantine consensus algorithm runs unchanged over
+    Algorithm 2's round simulation).
+
+    Two classic synchronous algorithms are provided as
+    {!Lockstep.round_algo}s over integer values:
+
+    - {b EIG} (exponential information gathering): [f + 1] rounds,
+      resilience [n > 3f].  Processes relay everything they heard,
+      filling a tree of values indexed by sender sequences, and decide
+      by recursive majority resolution.
+    - {b Phase Queen}: [2(f + 1)] rounds, resilience [n > 4f].  Each
+      phase is a general exchange followed by a queen round; a process
+      adopts the queen's value unless its own majority was
+      overwhelming.
+    - {b Phase King} (Berman–Garay–Perry): [3(f + 1)] rounds,
+      resilience [n > 3f] with constant-size messages — the classic
+      trade-off against EIG's exponential messages.
+
+    Both run (a) over a perfect synchronous executor
+    ({!run_synchronous}, the baseline, with per-recipient two-faced
+    Byzantine behaviour) and (b) over the ABC lock-step simulation
+    (via {!Lockstep.algorithm} in the benches/tests), demonstrating the
+    paper's claim that lock-step rounds — and hence consensus — are
+    solvable in the ABC model with [n ≥ 3f + 1]. *)
+
+module Imap = Map.Make (Int)
+
+let default_value = 0
+
+(* ------------------------------------------------------------------ *)
+(* EIG *)
+
+module Eig = struct
+  module Smap = Map.Make (struct
+    type t = int list
+
+    let compare = Stdlib.compare
+  end)
+
+  type state = {
+    n : int;
+    f : int;
+    value : int;
+    tree : int Smap.t;  (** σ -> reported value, |σ| ≥ 1 *)
+    decision : int option;
+  }
+
+  (** Round message: the level-(r−1) values to relay. *)
+  type msg = (int list * int) list
+
+  let resolve st =
+    (* recursive majority resolution over the stored tree *)
+    let rec res sigma depth =
+      if depth = st.f + 1 then
+        match Smap.find_opt sigma st.tree with Some v -> v | None -> default_value
+      else begin
+        let children =
+          List.filter_map
+            (fun q ->
+              if List.mem q sigma then None
+              else if Smap.mem (sigma @ [ q ]) st.tree || depth + 1 <= st.f + 1 then
+                Some (res (sigma @ [ q ]) (depth + 1))
+              else None)
+            (List.init st.n Fun.id)
+        in
+        (* strict majority, else default *)
+        let counts =
+          List.fold_left
+            (fun m v -> Imap.add v (1 + Option.value ~default:0 (Imap.find_opt v m)) m)
+            Imap.empty children
+        in
+        let total = List.length children in
+        match
+          Imap.fold
+            (fun v c acc -> match acc with Some _ -> acc | None -> if 2 * c > total then Some v else None)
+            counts None
+        with
+        | Some v -> v
+        | None -> default_value
+      end
+    in
+    res [] 0
+
+  let algo ~f ~(value : int -> int) : (state, msg) Lockstep.round_algo =
+    {
+      r_init =
+        (fun ~self ~nprocs ->
+          let st =
+            { n = nprocs; f; value = value self; tree = Smap.empty; decision = None }
+          in
+          (st, [ ([], value self) ]));
+      r_step =
+        (fun ~self ~nprocs:_ ~round st msgs ->
+          (* store the level-(round) values: (σ, v) from q becomes σ·q *)
+          let tree =
+            List.fold_left
+              (fun tree (q, pairs) ->
+                List.fold_left
+                  (fun tree (sigma, v) ->
+                    if List.length sigma = round - 1 && not (List.mem q sigma) then
+                      Smap.add (sigma @ [ q ]) v tree
+                    else tree)
+                  tree pairs)
+              st.tree msgs
+          in
+          let st = { st with tree } in
+          if round > st.f + 1 then (st, []) (* done; keep quiet *)
+          else begin
+            let st =
+              if round = st.f + 1 then { st with decision = Some (resolve st) } else st
+            in
+            (* relay level-(round) values not involving self *)
+            let out =
+              Smap.fold
+                (fun sigma v acc ->
+                  if List.length sigma = round && not (List.mem self sigma) then
+                    (sigma, v) :: acc
+                  else acc)
+                st.tree []
+            in
+            (st, out)
+          end);
+    }
+
+  let decision st = st.decision
+end
+
+(* ------------------------------------------------------------------ *)
+(* Phase Queen *)
+
+module Queen = struct
+  type state = {
+    n : int;
+    f : int;
+    pref : int;
+    maj : int;
+    cnt : int;
+    decision : int option;
+  }
+
+  type msg = int
+
+  let majority msgs =
+    let counts =
+      List.fold_left
+        (fun m (_, v) -> Imap.add v (1 + Option.value ~default:0 (Imap.find_opt v m)) m)
+        Imap.empty msgs
+    in
+    Imap.fold
+      (fun v c (bv, bc) -> if c > bc then (v, c) else (bv, bc))
+      counts (default_value, 0)
+
+  (* Rounds: 2(p−1) = exchange of phase p (broadcast pref);
+     2p−1 = queen round of phase p (queen = p−1 broadcasts its maj). *)
+  let algo ~f ~(value : int -> int) : (state, msg) Lockstep.round_algo =
+    {
+      r_init =
+        (fun ~self ~nprocs ->
+          let v = value self in
+          ({ n = nprocs; f; pref = v; maj = v; cnt = 0; decision = None }, v));
+      r_step =
+        (fun ~self ~nprocs:_ ~round st msgs ->
+          ignore self;
+          if round > (2 * (st.f + 1)) then (st, st.pref)
+          else if round mod 2 = 1 then begin
+            (* consumed an exchange round: compute majority, emit it
+               (only the queen's copy will be used) *)
+            let maj, cnt = majority msgs in
+            ({ st with maj; cnt }, maj)
+          end
+          else begin
+            (* consumed a queen round of phase p = round/2 *)
+            let phase = round / 2 in
+            let queen = phase - 1 in
+            let queen_val =
+              match List.assoc_opt queen msgs with Some v -> v | None -> default_value
+            in
+            let pref =
+              if st.cnt > (st.n / 2) + st.f then st.maj else queen_val
+            in
+            let st = { st with pref } in
+            let st =
+              if phase = st.f + 1 then { st with decision = Some pref } else st
+            in
+            (st, pref)
+          end);
+    }
+
+  let decision st = st.decision
+end
+
+(* ------------------------------------------------------------------ *)
+(* Perfect synchronous executor (baseline) *)
+
+type 'm sync_behavior =
+  | B_correct
+  | B_crash of int
+  | B_byzantine of (round:int -> dst:int -> 'm option)
+      (** per-recipient (two-faced) message forging *)
+
+(** Run a round algorithm under a perfect synchronous executor for
+    [nrounds] rounds; returns final round states of correct processes
+    (index, state). *)
+let run_synchronous ~nprocs ~(behaviors : 'm sync_behavior array)
+    ~(algo : ('rs, 'm) Lockstep.round_algo) ~nrounds =
+  let states = Array.make nprocs None in
+  let outbox = Array.make nprocs None in
+  (* round 0 *)
+  for p = 0 to nprocs - 1 do
+    match behaviors.(p) with
+    | B_correct | B_crash _ ->
+        let rs, m = algo.Lockstep.r_init ~self:p ~nprocs in
+        states.(p) <- Some rs;
+        outbox.(p) <- Some (`Broadcast m)
+    | B_byzantine forge -> outbox.(p) <- Some (`Forge forge)
+  done;
+  for round = 1 to nrounds do
+    let inboxes = Array.make nprocs [] in
+    for q = 0 to nprocs - 1 do
+      match outbox.(q) with
+      | Some (`Broadcast m) ->
+          let silent =
+            match behaviors.(q) with B_crash c -> round - 1 >= c | _ -> false
+          in
+          if not silent then
+            for p = 0 to nprocs - 1 do
+              inboxes.(p) <- (q, m) :: inboxes.(p)
+            done
+      | Some (`Forge forge) ->
+          for p = 0 to nprocs - 1 do
+            match forge ~round:(round - 1) ~dst:p with
+            | Some m -> inboxes.(p) <- (q, m) :: inboxes.(p)
+            | None -> ()
+          done
+      | None -> ()
+    done;
+    for p = 0 to nprocs - 1 do
+      match (behaviors.(p), states.(p)) with
+      | (B_correct | B_crash _), Some rs ->
+          let rs', m = algo.Lockstep.r_step ~self:p ~nprocs ~round rs (List.rev inboxes.(p)) in
+          states.(p) <- Some rs';
+          outbox.(p) <- Some (`Broadcast m)
+      | _ -> ()
+    done
+  done;
+  List.filter_map
+    (fun p ->
+      match (behaviors.(p), states.(p)) with
+      | B_correct, Some rs -> Some (p, rs)
+      | _ -> None)
+    (List.init nprocs Fun.id)
+
+(** Agreement + validity check over decisions of correct processes. *)
+let check_agreement decisions ~inputs =
+  match decisions with
+  | [] -> true
+  | (_, None) :: _ -> false
+  | (_, Some d0) :: _ ->
+      List.for_all (fun (_, d) -> d = Some d0) decisions
+      && (* validity: if all correct inputs equal, decide that value *)
+      (match inputs with
+      | [] -> true
+      | v0 :: vs -> if List.for_all (( = ) v0) vs then d0 = v0 else true)
+
+(* ------------------------------------------------------------------ *)
+(* Phase King (Berman–Garay–Perry): n > 3f, 3 rounds per phase *)
+
+module King = struct
+  (** The 3-round phase-king algorithm with proposals, resilience
+      [n > 3f], binary values and constant-size messages (the classic
+      trade-off against EIG's exponential messages).  Each phase
+      [k = 1..f+1]:
+
+      - round A (exchange): broadcast the preference;
+      - round B (proposal): a process that saw [≥ n − f] copies of a
+        value [w] proposes [w] (at most one value can be proposed by
+        correct processes, since [2(n−f) > n+f] for [n > 3f]); on
+        receiving [≥ f+1] proposals for [w], adopt [w], and mark the
+        phase {e strong} when [≥ n−f] proposals arrived;
+      - round C (king): process [k−1] broadcasts its preference;
+        non-strong processes adopt it.
+
+      Persistence: a unanimous correct value yields [n−f] proposals at
+      everyone, so all correct stay strong and ignore even a Byzantine
+      king.  Agreement: after the first phase with a correct king, all
+      correct preferences coincide (strong processes force the king's
+      own adoption of their value). *)
+  type state = {
+    n : int;
+    f : int;
+    pref : int;
+    strong : bool;
+    decision : int option;
+  }
+
+  (** Round message: a value; [-1] encodes "no proposal" in proposal
+      rounds. *)
+  type msg = int
+
+  let no_proposal = -1
+
+  let value_counts msgs =
+    List.fold_left
+      (fun m (_, v) ->
+        if v = no_proposal then m
+        else Imap.add v (1 + Option.value ~default:0 (Imap.find_opt v m)) m)
+      Imap.empty msgs
+
+  let algo ~f ~(value : int -> int) : (state, msg) Lockstep.round_algo =
+    {
+      r_init =
+        (fun ~self ~nprocs ->
+          let v = value self in
+          ({ n = nprocs; f; pref = v; strong = false; decision = None }, v));
+      r_step =
+        (fun ~self:_ ~nprocs:_ ~round st msgs ->
+          if round > 3 * (st.f + 1) then (st, st.pref)
+          else
+            match (round - 1) mod 3 with
+            | 0 ->
+                (* consumed exchange A: propose a value seen n−f times *)
+                let counts = value_counts msgs in
+                let proposal =
+                  Imap.fold
+                    (fun v c acc -> if c >= st.n - st.f then Some v else acc)
+                    counts None
+                in
+                (st, Option.value ~default:no_proposal proposal)
+            | 1 ->
+                (* consumed proposals: adopt a value proposed f+1 times;
+                   strong if n−f proposals *)
+                let counts = value_counts msgs in
+                let best =
+                  Imap.fold
+                    (fun v c acc ->
+                      match acc with
+                      | Some (_, c') when c' >= c -> acc
+                      | _ -> Some (v, c))
+                    counts None
+                in
+                let st =
+                  match best with
+                  | Some (w, c) when c >= st.f + 1 ->
+                      { st with pref = w; strong = c >= st.n - st.f }
+                  | _ -> { st with strong = false }
+                in
+                (st, st.pref)
+            | _ ->
+                (* consumed the king round of phase k = round/3 *)
+                let phase = round / 3 in
+                let king = phase - 1 in
+                let king_val =
+                  match List.assoc_opt king msgs with
+                  | Some v when v <> no_proposal -> v
+                  | _ -> default_value
+                in
+                let st = if st.strong then st else { st with pref = king_val } in
+                let st = { st with strong = false } in
+                let st =
+                  if phase = st.f + 1 then { st with decision = Some st.pref } else st
+                in
+                (st, st.pref));
+    }
+
+  let decision st = st.decision
+end

@@ -1,0 +1,117 @@
+(** Ξ-timeout failure detection (the Fig. 3 mechanism, Section 2).
+
+    A monitor process [p] exploits the ABC synchrony condition to
+    time out crashed processes without any clock: after broadcasting a
+    query, it ping-pongs with a responsive partner; once the causal
+    chain of ping-pong messages since the query reaches length
+    [L = ⌈2Ξ⌉], any process whose reply is still missing {e must} have
+    crashed — a reply arriving later would close a relevant cycle with
+    [|Z−|/|Z+| ≥ L/2 ≥ Ξ], violating Definition 4.
+
+    The detector is {e indirect}: the ABC condition is never evaluated
+    at run time; the mere impossibility of the late arrival justifies
+    the suspicion (no false suspicions in any admissible execution).
+
+    The monitor is process 0; its ping-pong partner is process 1
+    (assumed correct, as [pfast] in the paper). *)
+
+module Iset = Set.Make (Int)
+
+type msg =
+  | Query of int  (** query number *)
+  | Reply of int
+  | Ping of int * int  (** (query number, hop count) *)
+  | Pong of int * int
+
+type state = {
+  xi_chain : int;  (** L = ⌈2Ξ⌉: chain length needed before timeout *)
+  query : int;  (** current query number *)
+  replied : Iset.t;  (** processes that answered the current query *)
+  chain : int;  (** ping-pong messages exchanged since the query *)
+  suspects : Iset.t;  (** processes declared crashed (monotone) *)
+  queries_done : int;
+  role : [ `Monitor | `Partner | `Responder ];
+}
+
+let suspects s = Iset.elements s.suspects
+let queries_done s = s.queries_done
+
+(** The detector algorithm.  [rounds] bounds how many successive
+    queries the monitor issues (each ends in a suspicion verdict). *)
+let algorithm ~xi ~rounds : (state, msg) Sim.algorithm =
+  let l = Rat.ceil_int (Rat.mul Rat.two xi) in
+  let broadcast ~nprocs m = List.init nprocs (fun d -> { Sim.dst = d; payload = m }) in
+  let fresh role =
+    {
+      xi_chain = l;
+      query = 0;
+      replied = Iset.empty;
+      chain = 0;
+      suspects = Iset.empty;
+      queries_done = 0;
+      role;
+    }
+  in
+  {
+    init =
+      (fun ~self ~nprocs ->
+        if self = 0 then
+          (* monitor: broadcast query 0 and launch the ping-pong *)
+          ( { (fresh `Monitor) with query = 0 },
+            broadcast ~nprocs (Query 0) @ [ { Sim.dst = 1; payload = Ping (0, 1) } ] )
+        else if self = 1 then (fresh `Partner, [])
+        else (fresh `Responder, []));
+    step =
+      (fun ~self:_ ~nprocs s ~sender m ->
+        match (s.role, m) with
+        | `Responder, Query q | `Partner, Query q ->
+            (* immediate reply, as the paper's processes do *)
+            ignore q;
+            (s, [ { Sim.dst = sender; payload = Reply q } ])
+        | `Partner, Ping (q, h) -> (s, [ { Sim.dst = sender; payload = Pong (q, h + 1) } ])
+        | `Monitor, Reply q when q = s.query ->
+            ({ s with replied = Iset.add sender s.replied }, [])
+        | `Monitor, Pong (q, h) when q = s.query ->
+            (* [h] counts the messages of the ping-pong chain so far *)
+            let chain = h in
+            if chain >= s.xi_chain then begin
+              (* timeout point ψ: everyone not heard from is crashed *)
+              let all = List.init nprocs Fun.id in
+              let missing =
+                List.filter
+                  (fun r -> r <> 0 && r <> 1 && not (Iset.mem r s.replied))
+                  all
+              in
+              let s' =
+                {
+                  s with
+                  suspects = List.fold_left (fun acc r -> Iset.add r acc) s.suspects missing;
+                  queries_done = s.queries_done + 1;
+                }
+              in
+              if s'.queries_done >= rounds then (s', [])
+              else begin
+                (* next query round *)
+                let q' = s.query + 1 in
+                let s'' = { s' with query = q'; replied = Iset.empty; chain = 0 } in
+                (s'', broadcast ~nprocs (Query q') @ [ { Sim.dst = 1; payload = Ping (q', 1) } ])
+              end
+            end
+            else ({ s with chain }, [ { Sim.dst = sender; payload = Ping (q, chain + 1) } ])
+        | `Monitor, (Reply _ | Pong _ | Ping _ | Query _) ->
+            (* stale round, or the monitor's own broadcast to itself *)
+            (s, [])
+        | `Partner, (Reply _ | Pong _) -> (s, [])
+        | `Responder, (Reply _ | Pong _ | Ping _) -> (s, []))
+  }
+
+(** Ground truth vs. verdicts: returns (false_suspicions, missed) where
+    [missed] are crashed processes not suspected after all rounds. *)
+let accuracy (result : (state, msg) Sim.result) ~crashed =
+  let mon = result.Sim.final_states.(0) in
+  let suspected = mon.suspects in
+  let false_susp =
+    Iset.elements (Iset.filter (fun p -> not (List.mem p crashed)) suspected)
+  in
+  let missed = List.filter (fun p -> not (Iset.mem p suspected)) crashed in
+  (false_susp, missed)

@@ -1,0 +1,35 @@
+(** Ξ-timeout failure detection (the Fig. 3 mechanism, Section 2).
+
+    A monitor (process 0) broadcasts a query and ping-pongs with a
+    partner (process 1); once the chain since the query reaches
+    [⌈2Ξ⌉] messages, any missing reply proves a crash — a later
+    arrival would close a relevant cycle of ratio ≥ Ξ.  No false
+    suspicions in any admissible execution; the ABC condition is used
+    indirectly, never evaluated at run time. *)
+
+module Iset : Set.S with type elt = int
+
+type msg =
+  | Query of int
+  | Reply of int
+  | Ping of int * int  (** (query number, messages in the chain so far) *)
+  | Pong of int * int
+
+type state = {
+  xi_chain : int;  (** [⌈2Ξ⌉]: chain length before the verdict *)
+  query : int;
+  replied : Iset.t;
+  chain : int;
+  suspects : Iset.t;  (** processes declared crashed (monotone) *)
+  queries_done : int;
+  role : [ `Monitor | `Partner | `Responder ];
+}
+
+val suspects : state -> int list
+val queries_done : state -> int
+
+val algorithm : xi:Rat.t -> rounds:int -> (state, msg) Sim.algorithm
+(** The detector; the monitor issues [rounds] successive queries. *)
+
+val accuracy : (state, msg) Sim.result -> crashed:int list -> int list * int list
+(** (false suspicions, missed crashes) against ground truth. *)

@@ -1,0 +1,96 @@
+(** FIFO channels from the ABC condition (Fig. 10, Section 5.1).
+
+    The ABC model can enforce FIFO order on a link [p2 → q1] with
+    {e unbounded and even growing} delays — something no bounded-delay
+    partially synchronous model can express.  The construction: between
+    two consecutive data messages to [q1], the sender [p2] performs
+    enough message exchanges with a helper [p1] that a reordering at
+    [q1] would close a relevant cycle of ratio [≥ Ξ]:
+
+    - data message [m_i] is sent at event [s_i];
+    - a chatter chain of [c] messages links [s_i] causally to
+      [s_{i+1}];
+    - if [m_{i+1}] overtook [m_i] at [q1], the cycle
+      [s_i → (m_i) → φ ← (local) ← φ′ ← (m_{i+1}) ← s_{i+1} ← chain ← s_i]
+      would be relevant with [|Z−| = c + 1] backward messages
+      ([m_{i+1}] plus the chatter) and [|Z+| = 1] ([m_i]), so it is
+      forbidden whenever [c + 1 ≥ Ξ], i.e. [c ≥ ⌈Ξ⌉ − 1 + 1] messages
+      suffice strictly (we use [c = ⌈Ξ⌉] for the margin the paper's
+      Fig. 10 shows: Ξ = 4 forbidden ratio 5).
+
+    [build ~n_messages ~chatter ~reordered] constructs the execution
+    graph directly (the scenario is about graph structure, not about an
+    algorithm's computation), with or without a reordering at [q1];
+    checking admissibility then reproduces the figure's claim. *)
+
+open Execgraph
+
+type built = {
+  graph : Graph.t;
+  data_receive_order : int list;  (** indices of data messages in arrival order *)
+}
+
+(** Processes: 0 = p2 (sender), 1 = p1 (helper), 2 = q1 (receiver).
+    [chatter] = number of p1↔p2 messages between consecutive sends.
+    [reordered]: if [Some (i)], data messages [i] and [i+1] arrive
+    swapped at [q1]. *)
+let build ~n_messages ~chatter ~reordered () =
+  let g = Graph.create ~nprocs:3 in
+  (* p2's events: s_0, then chatter hops, s_1, ... *)
+  let send_events = Array.make n_messages (-1) in
+  let prev = ref None in
+  for i = 0 to n_messages - 1 do
+    (* Build the chatter chain's intermediate events BEFORE the send
+       event s_i: they precede it causally, and events of one process
+       must be appended in causal order. *)
+    let chain_end =
+      match !prev with
+      | None -> None
+      | Some last ->
+          let cur = ref last in
+          let hops = max 2 chatter in
+          (* alternate p1 / p2 events; the final hop lands on s_i *)
+          for h = 1 to hops - 1 do
+            let proc = if h mod 2 = 1 then 1 else 0 in
+            let ev = Graph.add_event g ~proc in
+            ignore (Graph.add_message g ~src:!cur ~dst:ev.Event.id);
+            cur := ev.Event.id
+          done;
+          Some !cur
+    in
+    let s = Graph.add_event g ~proc:0 in
+    send_events.(i) <- s.Event.id;
+    (match chain_end with
+    | None -> ()
+    | Some cur -> ignore (Graph.add_message g ~src:cur ~dst:s.Event.id));
+    prev := Some s.Event.id
+  done;
+  (* q1's receive events, possibly with a swap *)
+  let order = List.init n_messages Fun.id in
+  let order =
+    match reordered with
+    | None -> order
+    | Some i ->
+        List.map (fun j -> if j = i then i + 1 else if j = i + 1 then i else j) order
+  in
+  List.iter
+    (fun i ->
+      let r = Graph.add_event g ~proc:2 in
+      ignore (Graph.add_message g ~src:send_events.(i) ~dst:r.Event.id))
+    order;
+  { graph = g; data_receive_order = order }
+
+(** The figure's claim, as a predicate: with chatter [c ≥ ⌈Ξ⌉], the
+    in-order execution is admissible for Ξ while every single-swap
+    reordering is not. *)
+let fifo_guaranteed ~xi ~n_messages ~chatter =
+  let ok = build ~n_messages ~chatter ~reordered:None () in
+  let in_order_admissible = Abc_check.is_admissible ok.graph ~xi in
+  let all_swaps_rejected =
+    List.for_all
+      (fun i ->
+        let bad = build ~n_messages ~chatter ~reordered:(Some i) () in
+        not (Abc_check.is_admissible bad.graph ~xi))
+      (List.init (n_messages - 1) Fun.id)
+  in
+  in_order_admissible && all_swaps_rejected

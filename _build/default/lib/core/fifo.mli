@@ -1,0 +1,22 @@
+(** FIFO channels from the ABC condition (Fig. 10, Section 5.1): with
+    [c] chatter messages between consecutive data sends, a reordering
+    at the receiver closes a relevant cycle of ratio [c + 1] — so the
+    ABC condition with [Ξ ≤ c + 1] enforces FIFO order even on links
+    with unbounded, growing delays, which no bounded-delay partially
+    synchronous model can express. *)
+
+type built = {
+  graph : Execgraph.Graph.t;
+  data_receive_order : int list;  (** data message indices in arrival order *)
+}
+
+val build :
+  n_messages:int -> chatter:int -> reordered:int option -> unit -> built
+(** Processes: 0 = sender, 1 = chatter helper, 2 = receiver; the chain
+    between consecutive sends has [max 2 chatter] messages.
+    [reordered = Some i] swaps the arrivals of data messages [i] and
+    [i+1]. *)
+
+val fifo_guaranteed : xi:Rat.t -> n_messages:int -> chatter:int -> bool
+(** The figure's claim as a predicate: the in-order execution is
+    admissible while every single-swap reordering is not. *)

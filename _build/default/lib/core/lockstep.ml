@@ -1,0 +1,228 @@
+(** Algorithm 2 (Section 3): lock-step round simulation on top of the
+    clock synchronization Algorithm 1.
+
+    Clocks are treated as phase counters; a round lasts [P] phases
+    where [P = ⌈2Ξ⌉] (the paper's [2Ξ]; any integer [P ≥ 2Ξ] preserves
+    the proof of Theorem 5, which only needs the causal-cone property
+    of Lemma 4 across a clock distance of at least [2Ξ]).  The round
+    [r] computing step [start r] runs exactly when the clock reaches
+    [P·r]: it reads the buffered round [r−1] messages, performs the
+    round computation, and broadcasts the round [r] message piggybacked
+    on [(tick P·r)].
+
+    Theorem 5 states that this simulates lock-step rounds: every round
+    [r] message of a correct process arrives at every correct process
+    before that process starts round [r+1].  The per-event [history]
+    recorded in the state lets the analysis check exactly this. *)
+
+module Iset = Set.Make (Int)
+module Imap = Map.Make (Int)
+
+(** A synchronous full-information round algorithm to run on top of the
+    simulation.  [r_step] receives the round [r−1] messages (sender,
+    payload) that arrived in time — under Theorem 5 this includes all
+    correct ones — and returns the round [r] broadcast payload. *)
+type ('rs, 'rm) round_algo = {
+  r_init : self:int -> nprocs:int -> 'rs * 'rm;
+  r_step : self:int -> nprocs:int -> round:int -> 'rs -> (int * 'rm) list -> 'rs * 'rm;
+}
+
+type 'rm msg = { tick : int; round_payload : 'rm option }
+
+type ('rs, 'rm) state = {
+  cs : Clock_sync.state;  (** the underlying Algorithm 1 state *)
+  r : int;  (** current round *)
+  rs : 'rs;  (** round-algorithm state *)
+  round_msgs : (int * 'rm) list Imap.t;  (** round -> messages received *)
+  history : (int * Iset.t) list;
+      (** (round started, senders whose round-(r−1) messages were
+          available at that moment) — for Theorem 5 verification *)
+}
+
+let phase_length ~xi = Rat.ceil_int (Rat.mul Rat.two xi)
+
+let round_of s = s.r
+let clock_of s = Clock_sync.clock s.cs
+let round_state s = s.rs
+
+(** A round schedule: [start_of_round r] is the clock value at which
+    the round [r] computing step runs (and its message is sent),
+    strictly increasing with [start_of_round 0 = 0]; [round_at k] is
+    [Some r] iff [k = start_of_round r]. *)
+type schedule = { start_of_round : int -> int; round_at : int -> int option }
+
+(** Uniform rounds of [p] phases: the paper's Algorithm 2 with
+    [p = ⌈2Ξ⌉]. *)
+let uniform_schedule p =
+  if p < 1 then invalid_arg "Lockstep.uniform_schedule";
+  {
+    start_of_round = (fun r -> p * r);
+    round_at = (fun k -> if k mod p = 0 then Some (k / p) else None);
+  }
+
+(** Doubling rounds for the ◇ABC / ?ABC variants (Section 6): round
+    [r] lasts [p0·2^r] phases, so once the duration exceeds the actual
+    (unknown or eventually-holding) [2Ξ], rounds are lock-step from
+    then on.  [start_of_round r = p0·(2^r − 1)]. *)
+let doubling_schedule p0 =
+  if p0 < 1 then invalid_arg "Lockstep.doubling_schedule";
+  let start r = p0 * ((1 lsl r) - 1) in
+  {
+    start_of_round = start;
+    round_at =
+      (fun k ->
+        let rec scan r = if start r > k then None else if start r = k then Some r else scan (r + 1) in
+        scan 0);
+  }
+
+(** Algorithm 1 + Algorithm 2 merged, over an arbitrary round
+    schedule. *)
+let algorithm_scheduled ~f ~(schedule : schedule) (ra : ('rs, 'rm) round_algo) :
+    (('rs, 'rm) state, 'rm msg) Sim.algorithm =
+  (* broadcast ticks lo..hi, attaching round payloads at round starts *)
+  let emit ~self ~nprocs st lo hi =
+    let st = ref st and sends = ref [] in
+    for j = lo to hi do
+      let payload =
+        match schedule.round_at j with
+        | Some round when round > !st.r ->
+            let prev_msgs =
+              match Imap.find_opt (round - 1) !st.round_msgs with
+              | Some l -> List.rev l
+              | None -> []
+            in
+            let senders =
+              List.fold_left (fun acc (q, _) -> Iset.add q acc) Iset.empty prev_msgs
+            in
+            let rs', m = ra.r_step ~self ~nprocs ~round !st.rs prev_msgs in
+            st := { !st with r = round; rs = rs'; history = (round, senders) :: !st.history };
+            Some m
+        | _ -> None
+      in
+      sends :=
+        !sends
+        @ List.init nprocs (fun d ->
+              { Sim.dst = d; payload = { tick = j; round_payload = payload } })
+    done;
+    (!st, !sends)
+  in
+  {
+    init =
+      (fun ~self ~nprocs ->
+        let rs0, m0 = ra.r_init ~self ~nprocs in
+        let cs =
+          {
+            Clock_sync.k = 0;
+            f;
+            received = Clock_sync.Imap.empty;
+            sent_upto = 0;
+            receipt_log = [];
+          }
+        in
+        let st = { cs; r = 0; rs = rs0; round_msgs = Imap.empty; history = [] } in
+        let sends =
+          List.init nprocs (fun d ->
+              { Sim.dst = d; payload = { tick = 0; round_payload = Some m0 } })
+        in
+        (st, sends));
+    step =
+      (fun ~self ~nprocs st ~sender m ->
+        (* buffer the piggybacked round message *)
+        let st =
+          match (m.round_payload, schedule.round_at m.tick) with
+          | Some pl, Some round ->
+              let cur = Option.value ~default:[] (Imap.find_opt round st.round_msgs) in
+              { st with round_msgs = Imap.add round ((sender, pl) :: cur) st.round_msgs }
+          | _ -> st
+        in
+        (* run the Algorithm 1 rules on the tick *)
+        let senders =
+          match Clock_sync.Imap.find_opt m.tick st.cs.received with
+          | None -> Clock_sync.Iset.empty
+          | Some set -> set
+        in
+        let cs =
+          {
+            st.cs with
+            received =
+              Clock_sync.Imap.add m.tick
+                (Clock_sync.Iset.add sender senders)
+                st.cs.received;
+            receipt_log = (sender, m.tick) :: st.cs.receipt_log;
+          }
+        in
+        let before = cs.sent_upto in
+        let cs', _tick_sends = Clock_sync.apply_rules ~nprocs cs in
+        let st = { st with cs = cs' } in
+        if cs'.sent_upto > before then emit ~self ~nprocs st (before + 1) cs'.sent_upto
+        else (st, []))
+  }
+
+(** The paper's Algorithm 2: uniform rounds of [⌈2Ξ⌉] phases. *)
+let algorithm ~f ~xi (ra : ('rs, 'rm) round_algo) =
+  algorithm_scheduled ~f ~schedule:(uniform_schedule (phase_length ~xi)) ra
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5 verification *)
+
+(** Check the lock-step property on a finished run: for every correct
+    process [p] and every round [ρ ≥ 1] that [p] started, the round
+    [ρ−1] messages of {e all} correct processes that started round
+    [ρ−1] were available.  Returns [(rounds_checked, violations)]. *)
+let lockstep_violations (result : (('rs, 'rm) state, 'rm msg) Sim.result) ~correct =
+  let checked = ref 0 and violations = ref [] in
+  (* which rounds did each correct process start? *)
+  let started =
+    List.map
+      (fun p ->
+        let st = result.Sim.final_states.(p) in
+        (p, List.fold_left (fun acc (r, _) -> Iset.add r acc) (Iset.add 0 Iset.empty)
+               (List.map (fun (r, s) -> (r, s)) st.history)))
+      correct
+  in
+  List.iter
+    (fun p ->
+      let st = result.Sim.final_states.(p) in
+      List.iter
+        (fun (rho, senders) ->
+          if rho >= 1 then begin
+            incr checked;
+            List.iter
+              (fun q ->
+                let q_started = List.assoc q started in
+                if Iset.mem (rho - 1) q_started && not (Iset.mem q senders) then
+                  violations := (p, rho, q) :: !violations)
+              correct
+          end)
+        st.history)
+    correct;
+  (!checked, !violations)
+
+(** The rounds at which some correct process missed another correct
+    process's previous-round message — the lock-step property fails
+    exactly there.  With the uniform schedule and a perpetually
+    admissible execution this is empty (Theorem 5); with the doubling
+    schedule under an eventually-admissible execution it is a finite
+    prefix of rounds (eventual lock-step, Section 6). *)
+let violating_rounds (result : (('rs, 'rm) state, 'rm msg) Sim.result) ~correct =
+  let _, violations = lockstep_violations result ~correct in
+  List.sort_uniq compare (List.map (fun (_, rho, _) -> rho) violations)
+
+(** The first round from which lock-step holds for good: 0 when it
+    never failed, [max violating round + 1] otherwise. *)
+let first_lockstep_round result ~correct =
+  match violating_rounds result ~correct with
+  | [] -> 0
+  | l -> List.fold_left max 0 l + 1
+
+(** Highest round reached by each correct process. *)
+let rounds_reached (result : (('rs, 'rm) state, 'rm msg) Sim.result) ~correct =
+  List.map (fun p -> (p, result.Sim.final_states.(p).r)) correct
+
+(** A trivial round algorithm (empty payloads) for running the bare
+    lock-step simulation. *)
+let noop_round_algo : (unit, unit) round_algo =
+  {
+    r_init = (fun ~self:_ ~nprocs:_ -> ((), ()));
+    r_step = (fun ~self:_ ~nprocs:_ ~round:_ () _ -> ((), ()));
+  }

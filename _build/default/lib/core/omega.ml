@@ -1,0 +1,104 @@
+(** Ω (eventual leader election) in the ABC model, for crash faults.
+
+    Section 6 of the paper observes that message-driven Ω
+    implementations (Biely & Widder's for the Θ-Model) carry over to
+    the ABC model by the indistinguishability result.  This module
+    implements the natural ABC-native construction, built directly on
+    the causal-cone property of Lemma 4:
+
+    every process runs the clock synchronization Algorithm 1; when a
+    correct process [p] is at clock [c], Lemma 4 guarantees it has
+    received [(tick ℓ)] from {e every} correct process for all
+    [ℓ ≤ c − 2Ξ].  Hence any process whose ticks are missing at level
+    [c − L] for the integer margin [L = ⌈2Ξ⌉] {e must} have crashed,
+    and can be suspected without any real-time clock.  The leader is
+    the smallest non-suspected process id.
+
+    Properties (checked by the test suite and benches):
+    - {e eventual accuracy}: under any scheduler whose executions are
+      ABC-admissible for Ξ, no correct process is ever suspected
+      (suspicion would contradict Lemma 4), so the leader of every
+      correct process converges to the smallest correct id;
+    - {e completeness}: a crashed process stops broadcasting ticks, so
+      once clocks pass its last tick by [L], everyone suspects it.
+
+    Byzantine processes are out of scope here (as in the failure
+    detector literature the paper cites for Ω); with [f] crash faults
+    the underlying Algorithm 1 still needs [n ≥ 3f + 1] to guarantee
+    its bounds under our fault model. *)
+
+module Iset = Set.Make (Int)
+
+type state = {
+  cs : Clock_sync.state;
+  margin : int;  (** L = ⌈2Ξ⌉ *)
+  leader : int;
+  suspects : Iset.t;
+}
+
+let leader s = s.leader
+let suspects s = Iset.elements s.suspects
+let clock s = Clock_sync.clock s.cs
+
+(* Recompute suspicions and leader from the clock-sync receipt state:
+   q is alive at level l iff (tick l) from q was received. *)
+let refresh ~nprocs s =
+  let level = Clock_sync.clock s.cs - s.margin in
+  if level < 0 then s
+  else begin
+    let received_at l q =
+      match Clock_sync.Imap.find_opt l s.cs.Clock_sync.received with
+      | None -> false
+      | Some senders -> Clock_sync.Iset.mem q senders
+    in
+    let suspects = ref Iset.empty in
+    for q = 0 to nprocs - 1 do
+      (* q is suspected iff some tick level <= clock - L is missing;
+         levels are filled monotonically, so checking the single level
+         [clock - L] suffices once all earlier ones were seen — we keep
+         the check cumulative to stay monotone under catch-up jumps *)
+      let missing = ref false in
+      for l = 0 to level do
+        if not (received_at l q) then missing := true
+      done;
+      if !missing then suspects := Iset.add q !suspects
+    done;
+    let leader =
+      let rec first q = if q >= nprocs then nprocs - 1 else if Iset.mem q !suspects then first (q + 1) else q in
+      first 0
+    in
+    { s with suspects = !suspects; leader }
+  end
+
+(** The Ω algorithm: Algorithm 1 with leader output. *)
+let algorithm ~f ~xi : (state, Clock_sync.msg) Sim.algorithm =
+  let margin = Rat.ceil_int (Rat.mul Rat.two xi) in
+  let base = Clock_sync.algorithm ~f in
+  {
+    init =
+      (fun ~self ~nprocs ->
+        let cs, sends = base.Sim.init ~self ~nprocs in
+        (refresh ~nprocs { cs; margin; leader = 0; suspects = Iset.empty }, sends));
+    step =
+      (fun ~self ~nprocs s ~sender m ->
+        let cs, sends = base.Sim.step ~self ~nprocs s.cs ~sender m in
+        (refresh ~nprocs { s with cs }, sends));
+  }
+
+(** Analysis: the final leader of every correct process, and whether
+    they all agree on the smallest correct id. *)
+let converged (result : (state, Clock_sync.msg) Sim.result) ~correct =
+  let leaders = List.map (fun p -> (p, result.Sim.final_states.(p).leader)) correct in
+  let expected = List.fold_left min max_int correct in
+  let agree = List.for_all (fun (_, l) -> l = expected) leaders in
+  (leaders, expected, agree)
+
+(** Analysis: no correct process was ever suspected by a correct
+    process (eventual accuracy is in fact perpetual in the ABC model,
+    because a false suspicion would contradict Lemma 4). *)
+let no_false_suspicions (result : (state, Clock_sync.msg) Sim.result) ~correct =
+  List.for_all
+    (fun p ->
+      let s = result.Sim.final_states.(p) in
+      List.for_all (fun q -> not (Iset.mem q s.suspects)) correct)
+    correct

@@ -1,0 +1,24 @@
+(** Ω (eventual leader election) in the ABC model, for crash faults,
+    built directly on the causal-cone property of Lemma 4: at clock
+    [c], ticks at level [≤ c − ⌈2Ξ⌉] are guaranteed present from every
+    correct process, so a missing tick proves a crash.  The leader is
+    the smallest non-suspected id.  Accuracy is perpetual (a false
+    suspicion would contradict Lemma 4); completeness follows from
+    clock progress. *)
+
+type state
+
+val leader : state -> int
+val suspects : state -> int list
+val clock : state -> int
+
+val algorithm : f:int -> xi:Rat.t -> (state, Clock_sync.msg) Sim.algorithm
+(** Algorithm 1 with leader output; [n ≥ 3f + 1]. *)
+
+val converged :
+  (state, Clock_sync.msg) Sim.result -> correct:int list ->
+  (int * int) list * int * bool
+(** (leaders per correct process, smallest correct id, all agree?). *)
+
+val no_false_suspicions :
+  (state, Clock_sync.msg) Sim.result -> correct:int list -> bool

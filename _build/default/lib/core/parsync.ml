@@ -1,0 +1,111 @@
+(** Relation to the classic partially synchronous model of Dwork,
+    Lynch & Stockmeyer (Section 5.1; Fig. 8).
+
+    ParSync stipulates a bound [Φ] on relative process speeds and a
+    bound [Δ] on message delays, measured on a discrete global clock
+    that ticks whenever any process takes a step.  For message-driven
+    executions mapped onto that clock (one tick per receive event), two
+    necessary conditions are checkable on an (untimed) execution graph:
+
+    - {e Δ+Φ-delivery}: a message sent at global tick [k] is received
+      by tick [k + Δ + Φ] (in ParSync the destination performs a
+      receive step at most [Φ] ticks after [k + Δ], and the message
+      must be delivered by it);
+    - {e Φ-speed}: while any process takes [Φ + 1] steps, every
+      process that is still active (takes steps both before and after
+      the window) takes at least one.
+
+    Violating either means {e no} ParSync run with parameters (Φ, Δ)
+    produces this message pattern.
+
+    {!prover_execution} implements the Prover's winning strategy of the
+    2-player game in Section 5.1: given any (Φ, Δ) chosen by the
+    Adversary with knowledge of Ξ, it builds an execution that is
+    ABC-admissible for {e every} Ξ > 1 (its only cycles are
+    non-relevant ping-pong cycles, and the slow message lies on an
+    isolated chain) yet violates both ParSync conditions — Fig. 8. *)
+
+open Execgraph
+
+(* Global tick of each event = its position in a linear extension
+   consistent with recorded times (we use event id order, which the
+   Sim layer and the builders below produce in causal/time order). *)
+
+(** Messages whose transit spans more than [delta + phi] global ticks.
+    Returns the offending (message edge, span) list. *)
+let delivery_violations g ~phi ~delta =
+  List.filter_map
+    (fun (e : Digraph.edge) ->
+      if Graph.is_message g e then begin
+        let span = e.dst - e.src in
+        if span > delta + phi then Some (e, span) else None
+      end
+      else None)
+    (Digraph.edges (Graph.digraph g))
+
+(** Windows in which one process takes [phi + 1] steps while another
+    active process takes none.  Returns the offending
+    (fast process, slow process, window start event id) list. *)
+let speed_violations g ~phi =
+  let n = Graph.nprocs g in
+  let events_by_proc = Array.init n (fun p -> Array.of_list (Graph.events_of_proc g p)) in
+  let violations = ref [] in
+  for fast = 0 to n - 1 do
+    let evs = events_by_proc.(fast) in
+    let k = Array.length evs in
+    for i = 0 to k - 1 - phi do
+      (* window of phi+1 consecutive steps of [fast] *)
+      let lo = evs.(i) and hi = evs.(i + phi) in
+      for slow = 0 to n - 1 do
+        if slow <> fast then begin
+          let sevs = events_by_proc.(slow) in
+          let takes_inside = Array.exists (fun id -> id > lo && id < hi) sevs in
+          let before = Array.exists (fun id -> id <= lo) sevs in
+          let after = Array.exists (fun id -> id >= hi) sevs in
+          if before && after && not takes_inside then
+            violations := (fast, slow, lo) :: !violations
+        end
+      done
+    done
+  done;
+  !violations
+
+(** Is the execution producible by some ParSync run with (Φ, Δ)?
+    (Necessary conditions only; sufficient for the Fig. 8 argument.) *)
+let parsync_consistent g ~phi ~delta =
+  delivery_violations g ~phi ~delta = [] && speed_violations g ~phi = []
+
+(** The Prover's execution: q ping-pongs [n_exchanges] times with p
+    while a message from q to r is in transit; r's only step is the
+    final receipt.  With [n_exchanges > max (Φ, Δ)] the execution
+    violates ParSync(Φ, Δ) but contains no relevant cycle at all, so it
+    is ABC-admissible for every Ξ > 1. *)
+let prover_execution ~phi ~delta =
+  let n_exchanges = max phi delta + 1 in
+  let g = Graph.create ~nprocs:3 in
+  (* processes: 0 = q, 1 = p, 2 = r *)
+  let q0 = Graph.add_event g ~proc:0 in
+  ignore
+    (let rec ping_pong cur i =
+       if i = 0 then cur
+       else begin
+         let at_p = Graph.add_event g ~proc:1 in
+         ignore (Graph.add_message g ~src:cur ~dst:at_p.Event.id);
+         let at_q = Graph.add_event g ~proc:0 in
+         ignore (Graph.add_message g ~src:at_p.Event.id ~dst:at_q.Event.id);
+         ping_pong at_q.Event.id (i - 1)
+       end
+     in
+     ping_pong q0.Event.id n_exchanges);
+  (* the slow message from q0 to r, received last *)
+  let r_ev = Graph.add_event g ~proc:2 in
+  ignore (Graph.add_message g ~src:q0.Event.id ~dst:r_ev.Event.id);
+  g
+
+(** The full game (Section 5.1): for the given adversary choice
+    (Φ, Δ), the Prover's execution is ABC-admissible for [xi] (any
+    [> 1]) and not ParSync-consistent.  Returns [true] iff the Prover
+    wins. *)
+let prover_wins ~phi ~delta ~xi =
+  let g = prover_execution ~phi ~delta in
+  Abc_check.is_admissible g ~xi && not (parsync_consistent g ~phi ~delta)

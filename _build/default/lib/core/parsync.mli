@@ -1,0 +1,23 @@
+(** Relation to the classic partially synchronous model of Dwork, Lynch
+    & Stockmeyer (Section 5.1, Fig. 8): necessary conditions for an
+    (untimed) execution graph to be producible by a ParSync(Φ, Δ) run,
+    and the Prover's winning strategy in the 2-player game showing ABC
+    executions outside every ParSync. *)
+
+val delivery_violations :
+  Execgraph.Graph.t -> phi:int -> delta:int -> (Digraph.edge * int) list
+(** Messages whose transit spans more than [Δ + Φ] global ticks (one
+    tick per receive event). *)
+
+val speed_violations : Execgraph.Graph.t -> phi:int -> (int * int * int) list
+(** Windows where one process takes [Φ+1] steps while another active
+    process takes none. *)
+
+val parsync_consistent : Execgraph.Graph.t -> phi:int -> delta:int -> bool
+
+val prover_execution : phi:int -> delta:int -> Execgraph.Graph.t
+(** q ping-pongs with p ([max Φ Δ + 1] exchanges) while a message from
+    q to r stays in transit: no relevant cycle at all (ABC-admissible
+    for every Ξ > 1), yet both ParSync conditions fail. *)
+
+val prover_wins : phi:int -> delta:int -> xi:Rat.t -> bool

@@ -1,0 +1,163 @@
+(** The MCM and MMR models (Section 5.2), as checkable conditions over
+    recorded executions — used by the model-comparison benches to show
+    where the ABC condition holds while these fail, and vice versa.
+
+    {b MCM} (Fetzer's Message Classification Model): all received
+    messages are correctly flagged "fast" or "slow", where every slow
+    message's end-to-end delay is more than twice every fast message's.
+    On a recorded timed execution, such a classification exists (with
+    at least one fast message) iff the sorted delay sequence has a gap
+    of factor [> 2], or all messages can be flagged fast... — precisely:
+    there must be a threshold splitting the delays so that
+    [min slow > 2 · max fast]; flagging {e all} messages fast is also a
+    valid classification.  What defeats MCM is needing both classes:
+    we expose the finest classification and its quality.
+
+    {b MMR} (Mostefaoui–Mourgaya–Raynal): there is a fixed set [Q_i]
+    of [n − f] processes whose responses to each of [p_i]'s round-trip
+    queries arrive among the first [n − f] responses.  On a recorded
+    sequence of query rounds (each an arrival order of responders), the
+    condition holds iff the intersection of the first-[n − f] sets
+    across rounds has size [≥ n − f]. *)
+
+module Iset = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* MCM *)
+
+type mcm_classification = {
+  fast_max : Rat.t;
+  slow_min : Rat.t;  (** [> 2 · fast_max] *)
+  n_fast : int;
+  n_slow : int;
+}
+
+(** Find a fast/slow split of the given delays with
+    [min slow > 2 · max fast] and both classes non-empty; among valid
+    splits, the one with the most fast messages.  [None] if no such
+    two-class split exists. *)
+let mcm_split delays =
+  let sorted = List.sort Rat.compare delays in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let best = ref None in
+  for i = 0 to n - 2 do
+    (* fast = arr[0..i], slow = arr[i+1..] *)
+    let fmax = arr.(i) and smin = arr.(i + 1) in
+    if Rat.compare smin (Rat.mul Rat.two fmax) > 0 then
+      best := Some { fast_max = fmax; slow_min = smin; n_fast = i + 1; n_slow = n - i - 1 }
+  done;
+  !best
+
+(** MCM's key structural requirement on a pair of simultaneously
+    in-transit messages: their delays must not have a ratio in (1, 2]
+    unless equal-classed.  Fraction of message pairs that would violate
+    a given split's threshold boundary — 0 means classification is
+    safe. *)
+let mcm_boundary_pairs delays =
+  let arr = Array.of_list (List.sort Rat.compare delays) in
+  let n = Array.length arr in
+  let bad = ref 0 and total = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      incr total;
+      let r = if Rat.sign arr.(i) > 0 then Rat.div arr.(j) arr.(i) else Rat.of_int 1000000 in
+      if Rat.compare r Rat.one > 0 && Rat.compare r Rat.two <= 0 then incr bad
+    done
+  done;
+  if !total = 0 then 0.0 else float_of_int !bad /. float_of_int !total
+
+(* ------------------------------------------------------------------ *)
+(* MMR *)
+
+(** [mmr_holds ~n ~f rounds] where each round lists responder ids in
+    arrival order: does a fixed (n−f)-quorum always arrive first? *)
+let mmr_holds ~n ~f (rounds : int list list) =
+  let quorum = n - f in
+  let firsts =
+    List.map
+      (fun order ->
+        let rec take k = function
+          | [] -> []
+          | _ when k = 0 -> []
+          | x :: tl -> x :: take (k - 1) tl
+        in
+        Iset.of_list (take quorum order))
+      rounds
+  in
+  match firsts with
+  | [] -> true
+  | first :: rest -> Iset.cardinal (List.fold_left Iset.inter first rest) >= quorum
+
+(** The size of the largest fixed set contained in every round's
+    first-(n−f) prefix (MMR holds iff this is ≥ n−f). *)
+let mmr_stable_quorum_size ~n ~f (rounds : int list list) =
+  let quorum = n - f in
+  let firsts =
+    List.map
+      (fun order ->
+        let rec take k = function
+          | [] -> []
+          | _ when k = 0 -> []
+          | x :: tl -> x :: take (k - 1) tl
+        in
+        Iset.of_list (take quorum order))
+      rounds
+  in
+  match firsts with
+  | [] -> n
+  | first :: rest -> Iset.cardinal (List.fold_left Iset.inter first rest)
+
+(* ------------------------------------------------------------------ *)
+(* MMR round-trip simulation *)
+
+(** A query–response workload driving the MMR condition: process 0
+    repeatedly broadcasts a numbered query; every process answers
+    immediately; the monitor records, for each completed round, the
+    responder ids in arrival order.  Feeding {!mmr_holds} with the
+    recorded rounds decides whether this execution satisfies the MMR
+    assumption for a given [f]. *)
+module Query_rounds = struct
+  type msg = Q of int | R of int
+
+  type state = {
+    role : [ `Monitor | `Responder ];
+    current : int;
+    arrived : int list;  (** responders of the current round, reversed *)
+    rounds : int list list;  (** completed rounds, newest first *)
+    target_rounds : int;
+  }
+
+  let rounds s = List.rev (List.map List.rev s.rounds)
+
+  let algorithm ~rounds:target_rounds : (state, msg) Sim.algorithm =
+    let broadcast ~nprocs m = List.init nprocs (fun d -> { Sim.dst = d; payload = m }) in
+    {
+      init =
+        (fun ~self ~nprocs ->
+          if self = 0 then
+            ( { role = `Monitor; current = 0; arrived = []; rounds = []; target_rounds },
+              broadcast ~nprocs (Q 0) )
+          else
+            ({ role = `Responder; current = 0; arrived = []; rounds = []; target_rounds }, []));
+      step =
+        (fun ~self ~nprocs s ~sender m ->
+          match (s.role, m) with
+          | `Responder, Q q -> (s, [ { Sim.dst = sender; payload = R q } ])
+          | `Monitor, Q q ->
+              (* the monitor answers its own query too *)
+              if self = sender then (s, [ { Sim.dst = 0; payload = R q } ]) else (s, [])
+          | `Monitor, R q when q = s.current ->
+              let s = { s with arrived = sender :: s.arrived } in
+              if List.length s.arrived >= nprocs then begin
+                let s =
+                  { s with rounds = s.arrived :: s.rounds; arrived = []; current = q + 1 }
+                in
+                if List.length s.rounds >= s.target_rounds then (s, [])
+                else (s, broadcast ~nprocs (Q (q + 1)))
+              end
+              else (s, [])
+          | `Monitor, R _ -> (s, [])
+          | `Responder, R _ -> (s, []))
+    }
+end

@@ -1,0 +1,44 @@
+(** The MCM and MMR models (Section 5.2), as checkable conditions over
+    recorded executions — used by the model-comparison benches (sweep
+    S5) to show where each model's assumption holds.
+
+    {b MCM} (Fetzer): received messages are flagged fast/slow with
+    every slow delay more than twice every fast delay.  {b MMR}
+    (Mostefaoui–Mourgaya–Raynal): a fixed quorum of [n − f] processes
+    answers among the first [n − f] in every query round. *)
+
+type mcm_classification = {
+  fast_max : Rat.t;
+  slow_min : Rat.t;  (** [> 2 · fast_max] *)
+  n_fast : int;
+  n_slow : int;
+}
+
+val mcm_split : Rat.t list -> mcm_classification option
+(** A two-class split with [min slow > 2 · max fast], maximizing the
+    fast class; [None] if no factor-2 gap exists. *)
+
+val mcm_boundary_pairs : Rat.t list -> float
+(** Fraction of delay pairs with ratio in (1, 2] — the pairs MCM
+    forbids from being simultaneously in transit with mixed flags. *)
+
+val mmr_holds : n:int -> f:int -> int list list -> bool
+(** Each round lists responder ids in arrival order: does a fixed
+    [(n−f)]-quorum always arrive first? *)
+
+val mmr_stable_quorum_size : n:int -> f:int -> int list list -> int
+(** Size of the largest fixed set inside every round's first-(n−f)
+    prefix (MMR holds iff ≥ n−f). *)
+
+(** A query–response workload driving the MMR condition: process 0
+    broadcasts numbered queries, everyone answers immediately, and the
+    monitor records each completed round's arrival order. *)
+module Query_rounds : sig
+  type msg = Q of int | R of int
+  type state
+
+  val rounds : state -> int list list
+  (** Completed rounds, oldest first, each in arrival order. *)
+
+  val algorithm : rounds:int -> (state, msg) Sim.algorithm
+end

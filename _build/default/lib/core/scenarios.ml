@@ -1,0 +1,146 @@
+(** Parametric builders for the paper's figure scenarios.
+
+    Each builder constructs the execution graph of a figure directly
+    (the scenarios are statements about causal structure, not about any
+    particular algorithm's computation), generalized by the chain
+    lengths, so that tests and benches can sweep them:
+
+    - {!spanning_cycle}: Fig. 1 — a slow chain of [k1] messages spans a
+      fast chain of [k2] messages, forming one relevant cycle of ratio
+      [k2/k1];
+    - {!timeout} / {!timeout_early}: Figs. 3/4 — a monitor ping-pongs
+      [chain] messages with a fast partner while a query to a slow
+      process is outstanding; the reply lands after the chain
+      ({!timeout}, closing a relevant cycle of ratio [chain/2]) or
+      before its last receive ({!timeout_early}, closing only
+      non-relevant cycles);
+    - {!isolated_slow}: Fig. 8 — a message stays in transit while its
+      sender exchanges [exchanges] ping-pongs with a third process; the
+      slow message lies on an isolated chain, so the graph is
+      ABC-admissible for every Ξ > 1 but realizable in no ParSync or
+      Θ model with corresponding bounds. *)
+
+open Execgraph
+
+(** Fig. 1 generalized: [k1 >= 1] messages in the spanning (slow)
+    chain, [k2 >= 1] in the spanned (fast) chain.  Uses [k1 + k2 - 1]
+    relay processes plus the two endpoints. *)
+let spanning_cycle ~k1 ~k2 () =
+  if k1 < 1 || k2 < 1 then invalid_arg "Scenarios.spanning_cycle";
+  let nprocs = 2 + (k2 - 1) + (k1 - 1) in
+  let g = Graph.create ~nprocs in
+  let ev p = Graph.add_event g ~proc:p in
+  let msg a b = ignore (Graph.add_message g ~src:a.Event.id ~dst:b.Event.id) in
+  let src = ev 0 in
+  (* fast chain: k2 messages through relays 2 .. k2 *)
+  let cur = ref src in
+  for i = 1 to k2 - 1 do
+    let r = ev (1 + i) in
+    msg !cur r;
+    cur := r
+  done;
+  let fast_end = ev 1 in
+  msg !cur fast_end;
+  (* slow chain: k1 messages through the remaining relays, arriving at
+     process 1 after the fast chain *)
+  let cur = ref src in
+  for i = 1 to k1 - 1 do
+    let r = ev (k2 + i) in
+    msg !cur r;
+    cur := r
+  done;
+  let slow_end = ev 1 in
+  msg !cur slow_end;
+  g
+
+(** Fig. 3 generalized.  [chain]: number of ping-pong messages (even)
+    between the monitor (process 0) and the partner (process 1) after
+    the query is broadcast; the reply of the slow process (2) arrives
+    after the full chain, closing a relevant cycle of ratio
+    [chain/2]. *)
+let timeout ~chain () =
+  if chain < 2 || chain mod 2 <> 0 then
+    invalid_arg "Scenarios.timeout: chain must be even and >= 2";
+  let g = Graph.create ~nprocs:3 in
+  let ev p = Graph.add_event g ~proc:p in
+  let msg a b = ignore (Graph.add_message g ~src:a.Event.id ~dst:b.Event.id) in
+  let phi0 = ev 0 in
+  let monitor_ev = ref phi0 in
+  for _ = 1 to chain / 2 do
+    let at_partner = ev 1 in
+    msg !monitor_ev at_partner;
+    let back = ev 0 in
+    msg at_partner back;
+    monitor_ev := back
+  done;
+  let sigma = ev 2 in
+  msg phi0 sigma;
+  let phi'' = ev 0 in
+  msg sigma phi'';
+  g
+
+(** Exact Fig. 4 shape: the reply arrives between the last two monitor
+    events, making the big cycle non-relevant. *)
+let timeout_early ~chain () =
+  if chain < 2 || chain mod 2 <> 0 then
+    invalid_arg "Scenarios.timeout_early: chain must be even and >= 2";
+  let g = Graph.create ~nprocs:3 in
+  let ev p = Graph.add_event g ~proc:p in
+  let msg a b = ignore (Graph.add_message g ~src:a.Event.id ~dst:b.Event.id) in
+  let phi0 = ev 0 in
+  let monitor_ev = ref phi0 in
+  let pending_pong = ref None in
+  (* all but the last pong delivered normally *)
+  for i = 1 to chain / 2 do
+    let at_partner = ev 1 in
+    msg !monitor_ev at_partner;
+    if i < chain / 2 then begin
+      let back = ev 0 in
+      msg at_partner back;
+      monitor_ev := back
+    end
+    else pending_pong := Some at_partner
+  done;
+  let sigma = ev 2 in
+  msg phi0 sigma;
+  (* reply lands before the final pong *)
+  let phi = ev 0 in
+  msg sigma phi;
+  (match !pending_pong with
+  | Some at_partner ->
+      let psi = ev 0 in
+      msg at_partner psi
+  | None -> assert false);
+  g
+
+(** Fig. 8: the prover's execution (see {!Parsync.prover_execution};
+    re-exported here for uniformity). *)
+let isolated_slow ~exchanges () =
+  let g = Graph.create ~nprocs:3 in
+  let ev p = Graph.add_event g ~proc:p in
+  let msg a b = ignore (Graph.add_message g ~src:a.Event.id ~dst:b.Event.id) in
+  let q0 = ev 0 in
+  let cur = ref q0 in
+  for _ = 1 to exchanges do
+    let at_p = ev 1 in
+    msg !cur at_p;
+    let at_q = ev 0 in
+    msg at_p at_q;
+    cur := at_q
+  done;
+  let r_ev = ev 2 in
+  msg q0 r_ev;
+  g
+
+(** The largest ping-pong chain length after which a reply may still
+    arrive without violating Ξ — i.e. the failure-detection latency of
+    the Fig. 3 mechanism, in messages.  The reply closes a relevant
+    cycle of ratio [chain/2], forbidden iff [chain/2 ≥ Ξ]; so the
+    adversary can defer the reply past a chain of length [L] iff
+    [L < 2Ξ].  Computed experimentally by probing the builder. *)
+let max_reply_deferral ~xi =
+  let rec probe chain =
+    let g = timeout ~chain () in
+    if Abc_check.is_admissible g ~xi then probe (chain + 2) else chain - 2
+  in
+  probe 2

@@ -1,0 +1,26 @@
+(** Parametric builders for the paper's figure scenarios, for tests and
+    sweep benches.  Each builds the execution graph directly — the
+    scenarios are statements about causal structure. *)
+
+val spanning_cycle : k1:int -> k2:int -> unit -> Execgraph.Graph.t
+(** Fig. 1 generalized: a slow chain of [k1] messages spanning a fast
+    chain of [k2]; one relevant cycle of ratio [k2/k1].
+    @raise Invalid_argument unless [k1, k2 ≥ 1]. *)
+
+val timeout : chain:int -> unit -> Execgraph.Graph.t
+(** Fig. 3 generalized: [chain] (even) ping-pong messages while a
+    query is outstanding; the late reply closes a relevant cycle of
+    ratio [chain/2]. *)
+
+val timeout_early : chain:int -> unit -> Execgraph.Graph.t
+(** Fig. 4: the reply arrives before the chain's last receive; only
+    non-relevant cycles close. *)
+
+val isolated_slow : exchanges:int -> unit -> Execgraph.Graph.t
+(** Fig. 8: a message in transit across [exchanges] ping-pongs, on an
+    isolated chain: admissible for every Ξ > 1. *)
+
+val max_reply_deferral : xi:Rat.t -> int
+(** The failure-detection latency of the Fig. 3 mechanism: the largest
+    even chain length after which a reply may still arrive without
+    violating Ξ (= largest even integer < 2Ξ). *)

@@ -1,0 +1,85 @@
+(** The Θ-Model (Section 4; Le Lann & Schmid / Widder & Schmid): a
+    message-driven partially synchronous model that bounds the ratio of
+    the maximum and minimum end-to-end delays of messages simultaneously
+    in transit, [τ+(t)/τ−(t) ≤ Θ] (Eq. (3)).
+
+    Checkers over {e timed} execution graphs (events carrying real-time
+    stamps, as recorded by {!Sim}):
+    - {!static_delay_ratio}: max/min over all message delays — the
+      static Θ-Model's [τ+/τ−];
+    - {!dynamic_admissible}: Eq. (3) proper, quantified over pairs of
+      messages simultaneously in transit;
+    - {!subset_of_abc} is Theorem 6's direction [MΘ ⊆ MABC]:
+      a Θ-admissible timed execution is ABC-admissible for any
+      [Ξ > Θ] (checked, not assumed). *)
+
+open Execgraph
+
+let message_delays g =
+  List.filter_map
+    (fun (e : Digraph.edge) ->
+      if Graph.is_message g e then begin
+        let src = Graph.event g e.src and dst = Graph.event g e.dst in
+        match (src.Event.time, dst.Event.time) with
+        | Some t0, Some t1 -> Some (e, t0, t1, Rat.sub t1 t0)
+        | _ -> None
+      end
+      else None)
+    (Digraph.edges (Graph.digraph g))
+
+(** [Some (min, max)] delay over all timed messages; [None] if there
+    are no timed messages. *)
+let delay_bounds g =
+  match message_delays g with
+  | [] -> None
+  | (_, _, _, d) :: rest ->
+      Some
+        (List.fold_left
+           (fun (lo, hi) (_, _, _, d') -> (Rat.min lo d', Rat.max hi d'))
+           (d, d) rest)
+
+(** The static Θ of the execution: max delay / min delay.  [None] when
+    there are no messages or some delay is zero (zero-delay messages
+    are admissible in the ABC model but in no Θ-Model). *)
+let static_delay_ratio g =
+  match delay_bounds g with
+  | None -> None
+  | Some (lo, hi) -> if Rat.sign lo <= 0 then None else Some (Rat.div hi lo)
+
+(** Eq. (3) over simultaneously-in-transit pairs: admissible iff for
+    every pair of messages whose transit intervals overlap (with
+    positive-length intersection or shared instant), the delay ratio is
+    at most Θ.  Messages with zero delay make the execution
+    inadmissible for every Θ if any other message is then in transit. *)
+let dynamic_admissible g ~theta =
+  let msgs = message_delays g in
+  let overlap (_, s1, r1, _) (_, s2, r2, _) =
+    Rat.compare s1 r2 <= 0 && Rat.compare s2 r1 <= 0
+  in
+  let rec pairs = function
+    | [] -> true
+    | m :: rest ->
+        List.for_all
+          (fun m' ->
+            if not (overlap m m') then true
+            else begin
+              let (_, _, _, d1) = m and (_, _, _, d2) = m' in
+              let lo = Rat.min d1 d2 and hi = Rat.max d1 d2 in
+              if Rat.sign lo <= 0 then Rat.sign hi <= 0
+              else Rat.compare (Rat.div hi lo) theta <= 0
+            end)
+          rest
+        && pairs rest
+  in
+  pairs msgs
+
+(** Theorem 6, checked on a concrete execution: if the timed execution
+    is (statically) Θ-admissible then it is ABC-admissible for every
+    [Ξ > Θ].  Returns [true] when the implication holds (it always
+    should; benches count this). *)
+let subset_of_abc g ~theta ~xi =
+  if Rat.compare theta xi >= 0 then invalid_arg "Theta_model.subset_of_abc: need Xi > Theta";
+  match static_delay_ratio g with
+  | None -> true (* not Θ-admissible for any Θ: implication vacuous *)
+  | Some ratio ->
+      if Rat.compare ratio theta <= 0 then Abc_check.is_admissible g ~xi else true

@@ -1,0 +1,23 @@
+(** The Θ-Model (Section 4): bounds the ratio of maximum and minimum
+    end-to-end delays of messages simultaneously in transit,
+    [τ+(t)/τ−(t) ≤ Θ] (Eq. (3)).  Checkers over timed execution
+    graphs, and Theorem 6's direction [MΘ ⊆ MABC]. *)
+
+val message_delays :
+  Execgraph.Graph.t -> (Digraph.edge * Rat.t * Rat.t * Rat.t) list
+(** Timed messages as (edge, send time, receive time, delay). *)
+
+val delay_bounds : Execgraph.Graph.t -> (Rat.t * Rat.t) option
+(** (min, max) delay over timed messages; [None] without any. *)
+
+val static_delay_ratio : Execgraph.Graph.t -> Rat.t option
+(** The static Θ: max/min delay.  [None] when there are no messages or
+    a delay is zero (admissible in ABC, in no Θ-Model). *)
+
+val dynamic_admissible : Execgraph.Graph.t -> theta:Rat.t -> bool
+(** Eq. (3) proper, over pairs of simultaneously-in-transit messages. *)
+
+val subset_of_abc : Execgraph.Graph.t -> theta:Rat.t -> xi:Rat.t -> bool
+(** Theorem 6 checked on a concrete execution: Θ-admissible implies
+    ABC-admissible for [Ξ > Θ] (vacuous when not Θ-admissible).
+    @raise Invalid_argument unless [Ξ > Θ]. *)

@@ -1,0 +1,100 @@
+(** Weaker variants of the ABC model (Section 6):
+
+    - {b ?ABC}: Ξ holds perpetually but is unknown — algorithms must
+      learn a feasible Ξ at run time ({!XiLearner});
+    - {b ◇ABC}: a known Ξ holds only eventually — only relevant cycles
+      starting at or after some unknown consistent cut [C_GST] satisfy
+      Eq. (2) ({!eventually_admissible});
+    - {b ?◇ABC}: both.
+
+    Also the cycle-length restriction mentioned at the end of
+    Section 6: Algorithm 1 remains correct in an ABC model in which
+    only cycles with at most [c] forward messages are constrained
+    ({!admissible_bounded_cycles}). *)
+
+open Execgraph
+
+(* ------------------------------------------------------------------ *)
+(* ◇ABC *)
+
+(** The subgraph of [g] restricted to events with id ≥ [cut]: the
+    suffix of the execution after a prefix of [cut] events.  Relevant
+    cycles "starting at or after the cut" are exactly the cycles of
+    this subgraph. *)
+let suffix_graph g ~cut =
+  let sub = Graph.create ~nprocs:(Graph.nprocs g) in
+  let remap = Hashtbl.create 64 in
+  for id = cut to Graph.event_count g - 1 do
+    let ev = Graph.event g id in
+    let ev' = Graph.add_event ?time:ev.Event.time sub ~proc:ev.Event.proc in
+    Hashtbl.replace remap id ev'.Event.id
+  done;
+  List.iter
+    (fun (e : Digraph.edge) ->
+      if Graph.is_message g e then
+        match (Hashtbl.find_opt remap e.src, Hashtbl.find_opt remap e.dst) with
+        | Some s, Some d -> ignore (Graph.add_message sub ~src:s ~dst:d)
+        | _ -> ())
+    (Digraph.edges (Graph.digraph g));
+  sub
+
+(** ◇ABC admissibility: the smallest prefix length [k] such that the
+    suffix after dropping the first [k] events is ABC-admissible for
+    [Ξ] — the position of a viable [C_GST].  [Some 0] means plain ABC
+    admissibility; [None] means even the final single event's suffix
+    violates (cannot happen: tiny suffixes have no cycles). *)
+let eventually_admissible g ~xi =
+  let n = Graph.event_count g in
+  if Abc_check.is_admissible g ~xi then Some 0
+  else begin
+    (* admissibility of suffixes is monotone in the cut (dropping more
+       events only removes cycles), so binary search applies *)
+    let lo = ref 0 and hi = ref n in
+    (* invariant: suffix at hi admissible, suffix at lo not *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if Abc_check.is_admissible (suffix_graph g ~cut:mid) ~xi then hi := mid else lo := mid
+    done;
+    if !hi >= n then None else Some !hi
+  end
+
+(* ------------------------------------------------------------------ *)
+(* ?ABC: learning Ξ *)
+
+(** An adaptive estimator for the unknown Ξ of the ?ABC model
+    (Section 6 sketches this: when a timeout verdict is contradicted by
+    a late arrival, the estimate was too small — increase it).  The
+    learner starts at [initial] and, fed the maximum relevant-cycle
+    ratio observed so far (e.g. from {!Abc.max_relevant_ratio} on
+    growing prefixes), maintains a feasible estimate
+    [Ξ̂ > max ratio seen]. *)
+module Xi_learner = struct
+  type t = { estimate : Rat.t; revisions : int }
+
+  let create ~initial = { estimate = initial; revisions = 0 }
+
+  (** Feed an observed relevant-cycle ratio; if it refutes the current
+      estimate ([ratio ≥ Ξ̂]), revise to [ratio + margin]. *)
+  let observe t ~ratio ~margin =
+    if Rat.compare ratio t.estimate >= 0 then
+      { estimate = Rat.add ratio margin; revisions = t.revisions + 1 }
+    else t
+
+  let estimate t = t.estimate
+  let revisions t = t.revisions
+end
+
+(* ------------------------------------------------------------------ *)
+(* Restricted execution graphs *)
+
+(** Admissibility when only cycles with at most [max_forward] forward
+    messages are constrained (end of Section 6: Algorithm 1 works even
+    when only cycles with ≤ 2 forward messages are considered).
+    Checked by enumeration — an oracle for small graphs. *)
+let admissible_bounded_cycles ?max_cycles g ~xi ~max_forward =
+  List.for_all
+    (fun (c : Cycle.t) ->
+      (not c.Cycle.relevant)
+      || c.Cycle.forward_messages > max_forward
+      || Rat.compare (Cycle.ratio c) xi < 0)
+    (Cycle.enumerate ?max_cycles g)

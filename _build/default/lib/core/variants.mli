@@ -1,0 +1,32 @@
+(** Weaker variants of the ABC model (Section 6): ◇ABC (Ξ holds only
+    after an unknown consistent cut C_GST), ?ABC (unknown Ξ, learnable
+    at run time), ?◇ABC, and the restricted-cycle models where only
+    cycles with few forward messages are constrained. *)
+
+val suffix_graph : Execgraph.Graph.t -> cut:int -> Execgraph.Graph.t
+(** The subgraph on events with id ≥ [cut] (the suffix after a prefix
+    of [cut] events). *)
+
+val eventually_admissible : Execgraph.Graph.t -> xi:Rat.t -> int option
+(** ◇ABC admissibility: the smallest prefix length whose removal makes
+    the suffix ABC-admissible for Ξ (monotone, found by binary search).
+    [Some 0] is plain admissibility. *)
+
+(** Adaptive estimation of the unknown Ξ of the ?ABC model: start with
+    an initial guess and revise upward whenever an observed
+    relevant-cycle ratio refutes it. *)
+module Xi_learner : sig
+  type t
+
+  val create : initial:Rat.t -> t
+  val observe : t -> ratio:Rat.t -> margin:Rat.t -> t
+  val estimate : t -> Rat.t
+  val revisions : t -> int
+end
+
+val admissible_bounded_cycles :
+  ?max_cycles:int -> Execgraph.Graph.t -> xi:Rat.t -> max_forward:int -> bool
+(** Admissibility when only relevant cycles with at most [max_forward]
+    forward messages are constrained (end of Section 6: Algorithm 1
+    needs only cycles with ≤ 2 forward messages).  By enumeration —
+    small graphs. *)

@@ -1,0 +1,1 @@
+lib/execgraph/abc_check.ml: Array Bigint Cycle Digraph Format Graph List Rat Stdlib

@@ -1,0 +1,1 @@
+lib/execgraph/abc_check.mli: Cycle Format Graph Rat

@@ -1,0 +1,1 @@
+lib/execgraph/cut.ml: Array Digraph Event Format Graph List Queue Rat

@@ -1,0 +1,1 @@
+lib/execgraph/cut.mli: Event Format Graph Rat

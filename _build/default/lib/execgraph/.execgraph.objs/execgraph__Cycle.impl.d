@@ -1,0 +1,1 @@
+lib/execgraph/cycle.ml: Digraph Format Graph List Rat

@@ -1,0 +1,1 @@
+lib/execgraph/cycle.mli: Digraph Format Graph Rat

@@ -1,0 +1,1 @@
+lib/execgraph/event.ml: Format Rat Stdlib

@@ -1,0 +1,1 @@
+lib/execgraph/event.mli: Format Rat

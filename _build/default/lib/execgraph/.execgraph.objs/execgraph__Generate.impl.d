@@ -1,0 +1,1 @@
+lib/execgraph/generate.ml: Cycle Event Graph List Random Rat Set

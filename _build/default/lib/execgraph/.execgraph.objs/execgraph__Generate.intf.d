@@ -1,0 +1,1 @@
+lib/execgraph/generate.mli: Graph Random Rat

@@ -1,0 +1,1 @@
+lib/execgraph/graph.ml: Array Digraph Event Format List Queue

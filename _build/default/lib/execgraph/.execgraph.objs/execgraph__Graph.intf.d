@@ -1,0 +1,1 @@
+lib/execgraph/graph.mli: Digraph Event Format Rat

@@ -1,0 +1,127 @@
+(** The ABC synchrony condition (Definition 4): an execution is
+    admissible for parameter Ξ iff every relevant cycle [Z] of its
+    execution graph satisfies [|Z−|/|Z+| < Ξ].
+
+    Two checkers are provided.
+
+    {b Exhaustive} ({!check_enumerate}): classify every simple shadow
+    cycle and test Eq. (2).  Exponential; the test oracle.
+
+    {b Polynomial} ({!check}): our reduction to nonpositive-cycle
+    detection.  Write Ξ = α/β in lowest terms and build an auxiliary
+    digraph [H] on the events of [G] with, for every message [u → v],
+    a {e forward arc} [u → v] of weight [+α] and a {e backward arc}
+    [v → u] of weight [−β]; and for every local edge [u → v] a backward
+    arc [v → u] of weight [0] (no forward local arcs: relevance demands
+    all local edges be backward).
+
+    Claim: [G] violates Def. 4 iff [H] has a directed cycle of weight
+    ≤ 0.
+
+    Proof sketch (both directions; details mirror Cycle.classify):
+    - A violating relevant cycle [Z] ([|Z−| ≥ Ξ·|Z+|]), traversed along
+      its orientation, uses forward-message arcs for [Z+], backward
+      message arcs for [Z−] and backward local arcs for its local
+      edges; its weight in [H] is [α·|Z+| − β·|Z−| ≤ 0].
+    - Conversely a directed cycle [C] in [H] of weight
+      [α·f − β·b ≤ 0] cannot consist of backward arcs only (that would
+      reverse into a directed cycle of the DAG [G]), so [f ≥ 1], hence
+      [b/f ≥ α/β = Ξ > 1], so [f < b]; its shadow in [G] is a cycle
+      whose orientation may legally be the traversal direction
+      (Eq. (1) holds), all local edges are backward (only backward
+      local arcs exist in [H]) — a relevant cycle violating Eq. (2).
+      (A non-simple [C] splits into simple cycles, at least one of
+      which has weight ≤ 0, and simple cycles of [H] that use both
+      arcs of the {e same} message have weight [α − β > 0], so a
+      genuine violation survives the splitting.)
+
+    Detecting "some cycle has weight ≤ 0" with Bellman–Ford (which
+    finds strictly negative cycles): with integer arc weights, rescale
+    each arc weight [w] to [(m+1)·w − 1] where [m] is the arc count.
+    A simple cycle of [k ≤ m] arcs and original weight [W] gets
+    [(m+1)·W − k], which is negative iff [W ≤ 0]
+    (if [W ≤ 0] it is [≤ −k < 0]; if [W ≥ 1] it is
+    [≥ m + 1 − k ≥ 1 > 0]). *)
+
+type verdict =
+  | Admissible
+  | Violation of Cycle.t  (** a concrete relevant cycle with ratio ≥ Ξ *)
+
+let xi_parts xi =
+  if Rat.compare xi Rat.one <= 0 then invalid_arg "Abc_check: requires Xi > 1";
+  let a = Bigint.to_int_exn (Rat.num xi) and b = Bigint.to_int_exn (Rat.den xi) in
+  (a, b)
+
+module BF_int = Digraph.Bellman_ford (struct
+  type t = int
+
+  let zero = 0
+  let add = ( + )
+  let compare = Stdlib.compare
+end)
+
+(* Arc origin: which execution-graph edge an arc of H came from, and
+   with which traversal direction. *)
+type arc_origin = { g_edge : Digraph.edge; g_dir : int }
+
+let build_h g ~xi =
+  let alpha, beta = xi_parts xi in
+  let h = Digraph.create (Graph.event_count g) in
+  let origins = ref [] and weights = ref [] in
+  List.iter
+    (fun (e : Digraph.edge) ->
+      if Graph.is_message g e then begin
+        let fwd = Digraph.add_edge h ~src:e.src ~dst:e.dst in
+        ignore fwd;
+        origins := { g_edge = e; g_dir = 1 } :: !origins;
+        weights := alpha :: !weights;
+        let bwd = Digraph.add_edge h ~src:e.dst ~dst:e.src in
+        ignore bwd;
+        origins := { g_edge = e; g_dir = -1 } :: !origins;
+        weights := -beta :: !weights
+      end
+      else begin
+        let bwd = Digraph.add_edge h ~src:e.dst ~dst:e.src in
+        ignore bwd;
+        origins := { g_edge = e; g_dir = -1 } :: !origins;
+        weights := 0 :: !weights
+      end)
+    (Digraph.edges (Graph.digraph g));
+  let origins = Array.of_list (List.rev !origins) in
+  let weights = Array.of_list (List.rev !weights) in
+  (h, origins, weights)
+
+(** Polynomial admissibility check; on violation, returns a concrete
+    violating relevant cycle (reconstructed from the nonpositive cycle
+    of [H], with repeated uses of the same message cancelled by the
+    splitting argument above — Bellman–Ford returns a simple cycle, so
+    no cancellation is needed in practice). *)
+let check g ~xi =
+  let h, origins, weights = build_h g ~xi in
+  let m = Digraph.edge_count h in
+  let scaled (e : Digraph.edge) = ((m + 1) * weights.(e.id)) - 1 in
+  match BF_int.negative_cycle h ~weight:scaled with
+  | None -> Admissible
+  | Some arcs ->
+      let traversal =
+        List.map
+          (fun (a : Digraph.edge) ->
+            let o = origins.(a.id) in
+            { Digraph.edge = o.g_edge; dir = o.g_dir })
+          arcs
+      in
+      let c = Cycle.classify g traversal in
+      Violation c
+
+(** Exhaustive oracle: enumerate all simple cycles and apply Eq. (2). *)
+let check_enumerate ?max_cycles g ~xi =
+  let cycles = Cycle.enumerate ?max_cycles g in
+  match List.find_opt (fun c -> not (Cycle.satisfies_abc c ~xi)) cycles with
+  | None -> Admissible
+  | Some c -> Violation c
+
+let is_admissible g ~xi = match check g ~xi with Admissible -> true | Violation _ -> false
+
+let pp_verdict fmt = function
+  | Admissible -> Format.fprintf fmt "admissible"
+  | Violation c -> Format.fprintf fmt "violation: %a" Cycle.pp c

@@ -1,0 +1,31 @@
+(** The ABC synchrony condition (Definition 4): an execution is
+    admissible for parameter Ξ iff every relevant cycle [Z] of its
+    execution graph satisfies [|Z−|/|Z+| < Ξ].
+
+    Two checkers:
+
+    - {!check}: {b polynomial}, by reduction to nonpositive-cycle
+      detection.  Writing Ξ = α/β in lowest terms, build a digraph [H]
+      with a forward arc of weight +α per message, a backward arc of
+      weight −β per message, and a backward arc of weight 0 per local
+      edge (no forward local arcs: relevance demands all locals
+      backward).  [G] violates Definition 4 iff [H] has a directed
+      cycle of weight ≤ 0, decided exactly by Bellman–Ford on the
+      rescaled integer weights [(m+1)·w − 1].  The full proof is in the
+      implementation's header comment.
+    - {!check_enumerate}: {b exhaustive} oracle over all simple shadow
+      cycles; exponential, used by tests to cross-validate. *)
+
+type verdict =
+  | Admissible
+  | Violation of Cycle.t  (** a concrete relevant cycle with ratio ≥ Ξ *)
+
+val check : Graph.t -> xi:Rat.t -> verdict
+(** Polynomial check; on violation returns a concrete witness cycle.
+    @raise Invalid_argument unless [Ξ > 1]. *)
+
+val check_enumerate : ?max_cycles:int -> Graph.t -> xi:Rat.t -> verdict
+(** Exhaustive oracle (small graphs only). *)
+
+val is_admissible : Graph.t -> xi:Rat.t -> bool
+val pp_verdict : Format.formatter -> verdict -> unit

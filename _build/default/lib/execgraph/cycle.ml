@@ -1,0 +1,107 @@
+(** Cycles of an execution graph and their classification
+    (Definitions 2 and 3 of the paper).
+
+    A cycle [Z] is a subgraph corresponding to a cycle of the undirected
+    shadow graph.  Traversing it, edges traversed along their direction
+    and edges traversed against it fall into two classes; restricting to
+    non-local edges (messages) gives [Z+] (forward) and [Z−] (backward),
+    with the {e orientation} chosen so that [|Z+| <= |Z−|] (Eq. (1)).
+    [Z] is {e relevant} iff every local edge is a backward edge under
+    that orientation.
+
+    Two structural facts exploited below (and asserted):
+    - every relevant cycle has [|Z+| >= 1]: otherwise all edges would be
+      traversed against their direction, i.e. the reversed traversal
+      would be a directed cycle — impossible in a DAG;
+    - when [|Z+| = |Z−|] the orientation is ambiguous, but the ratio is
+      1 < Ξ, so admissibility never depends on the choice. *)
+
+type t = {
+  traversal : Digraph.traversal list;
+      (** the cycle in traversal order; [dir = +1] means the edge is
+          traversed from [src] to [dst] *)
+  orientation : int;
+      (** +1 if the forward class is the [dir = +1] class, else -1 *)
+  forward_messages : int;  (** [|Z+|] *)
+  backward_messages : int;  (** [|Z−|] *)
+  relevant : bool;
+}
+
+let messages g t =
+  List.filter (fun (tr : Digraph.traversal) -> Graph.is_message g tr.edge) t
+
+(** Classify one shadow-graph cycle per Definition 3. *)
+let classify g traversal =
+  let msgs = messages g traversal in
+  let f = List.length (List.filter (fun (tr : Digraph.traversal) -> tr.dir = 1) msgs) in
+  let b = List.length msgs - f in
+  let locals =
+    List.filter (fun (tr : Digraph.traversal) -> not (Graph.is_message g tr.edge)) traversal
+  in
+  let locals_plus =
+    List.length (List.filter (fun (tr : Digraph.traversal) -> tr.dir = 1) locals)
+  in
+  let locals_minus = List.length locals - locals_plus in
+  (* Orientation +1 is permitted when f <= b (Eq. (1) holds with the
+     dir=+1 class as Z+); it makes the cycle relevant iff no local edge
+     is traversed forward.  Symmetrically for orientation -1. *)
+  let rel_plus = f <= b && locals_plus = 0 in
+  let rel_minus = b <= f && locals_minus = 0 in
+  let orientation, forward_messages, backward_messages, relevant =
+    if rel_plus then (1, f, b, true)
+    else if rel_minus then (-1, b, f, true)
+    else if f <= b then (1, f, b, false)
+    else (-1, b, f, false)
+  in
+  if relevant then
+    (* A relevant cycle with |Z+| = 0 would be a directed cycle in the
+       DAG; see the module comment. *)
+    assert (forward_messages >= 1);
+  { traversal; orientation; forward_messages; backward_messages; relevant }
+
+(** Orientation of the local edges relative to the cycle's orientation:
+    a relevant cycle has all locals backward; a cycle whose locals are
+    {e all forward} is the Fig. 4 shape (its delay sums must carry the
+    opposite sign to leave room for positive local weights); a cycle
+    with locals in both classes constrains nothing (both sides have
+    slack).  Cycles without local edges cannot occur: every cycle of an
+    execution graph has a "sink" node with two incoming edges, at most
+    one of which can be the node's unique triggering message. *)
+let local_profile g c =
+  let locals =
+    List.filter (fun (tr : Digraph.traversal) -> not (Graph.is_message g tr.edge)) c.traversal
+  in
+  let fwd =
+    List.length (List.filter (fun (tr : Digraph.traversal) -> tr.dir = c.orientation) locals)
+  in
+  let n = List.length locals in
+  if n = 0 then `No_locals
+  else if fwd = 0 then `All_backward
+  else if fwd = n then `All_forward
+  else `Mixed
+
+(** The ratio |Z−|/|Z+| of a relevant cycle. *)
+let ratio c =
+  if not c.relevant then invalid_arg "Cycle.ratio: non-relevant cycle";
+  Rat.of_ints c.backward_messages c.forward_messages
+
+(** [satisfies_abc c ~xi] is Eq. (2): [|Z−|/|Z+| < Ξ].  Non-relevant
+    cycles are unconstrained and always satisfy the condition. *)
+let satisfies_abc c ~xi = (not c.relevant) || Rat.compare (ratio c) xi < 0
+
+(** Enumerate and classify all simple cycles.  Exponential — test/LP
+    use only. *)
+let enumerate ?max_cycles g =
+  List.map (classify g) (Digraph.shadow_cycles ?max_cycles (Graph.digraph g))
+
+let pp fmt c =
+  let dir_str d = if d = 1 then "+" else "-" in
+  Format.fprintf fmt "@[<h>cycle[%s|Z+|=%d |Z-|=%d%s]:"
+    (if c.relevant then "relevant " else "non-relevant ")
+    c.forward_messages c.backward_messages
+    (if c.orientation = 1 then "" else " (flipped)");
+  List.iter
+    (fun (tr : Digraph.traversal) ->
+      Format.fprintf fmt " %se%d" (dir_str tr.dir) tr.edge.id)
+    c.traversal;
+  Format.fprintf fmt "@]"

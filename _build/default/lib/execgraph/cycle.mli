@@ -1,0 +1,55 @@
+(** Cycles of an execution graph and their classification
+    (Definitions 2 and 3 of the paper).
+
+    A cycle [Z] is a subgraph corresponding to a cycle of the
+    undirected shadow graph.  Traversing it, edges traversed along
+    their direction and against it fall into two classes; restricting
+    to non-local edges (messages) gives [Z+] (forward) and [Z−]
+    (backward), with the {e orientation} chosen so that
+    [|Z+| ≤ |Z−|] (Eq. (1)).  [Z] is {e relevant} iff every local edge
+    is a backward edge under that orientation.
+
+    Structural facts exploited by the checker (asserted in the code):
+    every relevant cycle has [|Z+| ≥ 1] (otherwise the reversed
+    traversal would be a directed cycle of the DAG), and when
+    [|Z+| = |Z−|] the orientation is ambiguous but the ratio is
+    1 < Ξ, so admissibility never depends on the choice. *)
+
+type t = {
+  traversal : Digraph.traversal list;
+      (** the cycle in traversal order; [dir = +1] means the edge is
+          traversed from [src] to [dst] *)
+  orientation : int;
+      (** +1 if the forward class is the [dir = +1] class, else -1 *)
+  forward_messages : int;  (** [|Z+|] *)
+  backward_messages : int;  (** [|Z−|] *)
+  relevant : bool;
+}
+
+val messages : Graph.t -> Digraph.traversal list -> Digraph.traversal list
+(** The non-local (message) steps of a traversal. *)
+
+val classify : Graph.t -> Digraph.traversal list -> t
+(** Classify one shadow-graph cycle per Definition 3. *)
+
+val local_profile :
+  Graph.t -> t -> [ `All_backward | `All_forward | `Mixed | `No_locals ]
+(** Orientation of the local edges relative to the cycle's orientation:
+    a relevant cycle has all locals backward; an all-forward cycle is
+    the Fig. 4 shape; a cycle with locals in both classes constrains no
+    delay assignment.  [`No_locals] cannot occur for genuine execution
+    graphs (every cycle has a sink node whose second incoming edge must
+    be local). *)
+
+val ratio : t -> Rat.t
+(** [|Z−|/|Z+|] of a relevant cycle.
+    @raise Invalid_argument on non-relevant cycles. *)
+
+val satisfies_abc : t -> xi:Rat.t -> bool
+(** Eq. (2): [|Z−|/|Z+| < Ξ]; non-relevant cycles pass vacuously. *)
+
+val enumerate : ?max_cycles:int -> Graph.t -> t list
+(** Enumerate and classify all simple cycles.  Exponential — tests and
+    the paper-faithful LP only. *)
+
+val pp : Format.formatter -> t -> unit

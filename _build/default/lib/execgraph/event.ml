@@ -1,0 +1,25 @@
+(** Events of an execution graph (Definition 1 of the paper).
+
+    A node of the execution graph is a {e receive event}: the reception
+    of exactly one message, which (at a correct process) triggers an
+    atomic zero-time receive+compute+send step.  Events are identified
+    by a dense integer id (the node index in the underlying digraph) and
+    carry the process they occur at, their sequence number at that
+    process, and an optional real-time timestamp (used only for the
+    Mattern-style real-time cuts of Theorem 3 — the ABC model itself is
+    time-free). *)
+
+type t = {
+  id : int;  (** dense node id in the execution graph *)
+  proc : int;  (** process at which the event occurs *)
+  seq : int;  (** 0-based position among the process's events *)
+  time : Rat.t option;  (** real-time of occurrence, if recorded *)
+}
+
+let pp fmt e =
+  match e.time with
+  | None -> Format.fprintf fmt "\xcf\x86(p%d,#%d)" e.proc e.seq
+  | Some t -> Format.fprintf fmt "\xcf\x86(p%d,#%d,t=%a)" e.proc e.seq Rat.pp t
+
+let equal a b = a.id = b.id
+let compare a b = Stdlib.compare a.id b.id

@@ -1,0 +1,18 @@
+(** Events of an execution graph (Definition 1 of the paper).
+
+    A node of the execution graph is a {e receive event}: the reception
+    of exactly one message, which (at a correct process) triggers an
+    atomic zero-time receive+compute+send step.  The optional timestamp
+    is used only for the Mattern-style real-time cuts of Theorem 3 —
+    the ABC model itself is time-free. *)
+
+type t = {
+  id : int;  (** dense node id in the execution graph *)
+  proc : int;  (** process at which the event occurs *)
+  seq : int;  (** 0-based position among the process's events *)
+  time : Rat.t option;  (** real-time of occurrence, if recorded *)
+}
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

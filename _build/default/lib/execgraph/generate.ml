@@ -1,0 +1,54 @@
+(** Random execution-graph generators, for tests and benchmarks.
+
+    The generator runs a toy time-driven simulation: every process
+    takes a wake-up event at time 0; every event sends messages to
+    random processes with random integer delays (zero allowed, as in
+    the ABC model).  The result is always a structurally valid
+    execution graph (a DAG with per-process local chains); its ABC
+    admissibility varies with the delay spread, so both checker
+    verdicts are exercised. *)
+
+let random_execution rng ~nprocs ~max_events ~max_delay ~fanout =
+  let g = Graph.create ~nprocs in
+  let module PQ = Set.Make (struct
+    type t = int * int * int * int (* time, counter, src_event, dst_proc *)
+
+    let compare = compare
+  end) in
+  let q = ref PQ.empty in
+  let counter = ref 0 in
+  let push time src dst =
+    incr counter;
+    q := PQ.add (time, !counter, src, dst) !q
+  in
+  for p = 0 to nprocs - 1 do
+    push 0 (-1) p
+  done;
+  let events = ref 0 in
+  while (not (PQ.is_empty !q)) && !events < max_events do
+    let ((time, _, src, dst) as entry) = PQ.min_elt !q in
+    q := PQ.remove entry !q;
+    let ev = Graph.add_event g ~proc:dst in
+    incr events;
+    if src >= 0 then ignore (Graph.add_message g ~src ~dst:ev.Event.id);
+    let nsend = Random.State.int rng (fanout + 1) in
+    for _ = 1 to nsend do
+      let target = Random.State.int rng nprocs in
+      let delay = Random.State.int rng (max_delay + 1) in
+      push (time + delay) ev.Event.id target
+    done
+  done;
+  g
+
+(** The largest ratio over relevant cycles by exhaustive enumeration —
+    a slow oracle for {!Abc_check} / [Core.Abc.max_relevant_ratio];
+    [None] if the graph has no relevant cycle. *)
+let max_relevant_ratio_enum ?max_cycles g =
+  let cycles = Cycle.enumerate ?max_cycles g in
+  List.fold_left
+    (fun acc c ->
+      if c.Cycle.relevant then
+        let r = Cycle.ratio c in
+        match acc with None -> Some r | Some r' -> Some (Rat.max r r')
+      else acc)
+    None cycles

@@ -1,0 +1,22 @@
+(** Random execution-graph generators, for tests and benchmarks.
+
+    The generator runs a toy time-driven simulation: every process
+    takes a wake-up event at time 0; every event sends messages to
+    random processes with random integer delays (zero allowed, as in
+    the ABC model).  The result is always a structurally valid
+    execution graph (a DAG with per-process local chains); its ABC
+    admissibility varies with the delay spread, so both checker
+    verdicts are exercised. *)
+
+val random_execution :
+  Random.State.t ->
+  nprocs:int ->
+  max_events:int ->
+  max_delay:int ->
+  fanout:int ->
+  Graph.t
+
+val max_relevant_ratio_enum : ?max_cycles:int -> Graph.t -> Rat.t option
+(** The largest ratio over relevant cycles by exhaustive enumeration —
+    a slow oracle for [Abc_check] / [Core.Abc.max_relevant_ratio];
+    [None] if the graph has no relevant cycle. *)

@@ -1,0 +1,1 @@
+lib/lp/lp.ml: Array Format Fun Hashtbl List Option Rat String

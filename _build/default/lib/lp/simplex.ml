@@ -1,0 +1,201 @@
+(** Exact simplex feasibility solver for mixed strict/non-strict linear
+    systems, over the ε-extended rationals.
+
+    This is the scalable companion to the Fourier–Motzkin engine in
+    {!Lp} (which mirrors the paper's proof but is doubly exponential).
+    A strict row [aᵀx < b] becomes [aᵀx ≤ b − ε] over the ordered field
+    ℚ(ε) with ε a positive infinitesimal ({!Rat.Eps}); the system
+    [Ax ≤ b′] is then decided by a phase-1 simplex:
+
+    {v maximize −t  subject to  A(u − v) − t·1 + s = b′,  u,v,t,s ≥ 0 v}
+
+    which always has the feasible start [u = v = 0], [t] pivoted in at
+    the most-negative row.  Bland's rule guarantees termination.
+
+    - optimum [t = 0]: the system is feasible; [x = u − v] standardized
+      with a small enough concrete rational ε gives a strict rational
+      solution;
+    - optimum [t > 0] (possibly infinitesimally): infeasible, and the
+      final reduced costs of the slack columns are a Farkas vector
+      [y ≥ 0] with [yᵀA = 0] and [yᵀb′ = −t < 0] — exactly the
+      certificate shape of Theorem 10 (strict rows entering the support
+      when [yᵀb = 0]). *)
+
+type tableau = {
+  nvars : int;  (** original free variables *)
+  m : int;  (** rows *)
+  cols : int;  (** structural + slack columns = 2·nvars + 1 + m *)
+  a : Rat.t array array;  (** m × cols *)
+  rhs : Rat.Eps.t array;
+  basis : int array;  (** basic column per row *)
+  zrow : Rat.t array;  (** reduced costs (for max −t) *)
+  mutable zval : Rat.Eps.t;  (** current objective value (−t) *)
+}
+
+let t_col nvars = 2 * nvars
+let slack_col nvars i = (2 * nvars) + 1 + i
+
+let build ({ Lp.nvars; rows } : Lp.system) =
+  let m = List.length rows in
+  let cols = (2 * nvars) + 1 + m in
+  let a = Array.make_matrix m cols Rat.zero in
+  let rhs = Array.make m Rat.Eps.zero in
+  let basis = Array.make m 0 in
+  List.iteri
+    (fun i (coeffs, rel, b) ->
+      Array.iteri
+        (fun j c ->
+          a.(i).(j) <- c;
+          a.(i).(nvars + j) <- Rat.neg c)
+        coeffs;
+      a.(i).(t_col nvars) <- Rat.minus_one;
+      a.(i).(slack_col nvars i) <- Rat.one;
+      basis.(i) <- slack_col nvars i;
+      rhs.(i) <-
+        (match rel with
+        | Lp.Le -> Rat.Eps.of_rat b
+        | Lp.Lt -> Rat.Eps.make b Rat.minus_one))
+    rows;
+  (* objective: maximize −t, i.e. c = −e_t; with the all-slack basis the
+     reduced-cost row is just c *)
+  let zrow = Array.make cols Rat.zero in
+  zrow.(t_col nvars) <- Rat.minus_one;
+  { nvars; m; cols; a; rhs; basis; zrow; zval = Rat.Eps.zero }
+
+(* Pivot on (row r, column j): standard exact Gauss-Jordan step on the
+   tableau, the rhs and the reduced-cost row. *)
+let pivot t r j =
+  let piv = t.a.(r).(j) in
+  let inv = Rat.inv piv in
+  for c = 0 to t.cols - 1 do
+    t.a.(r).(c) <- Rat.mul t.a.(r).(c) inv
+  done;
+  t.rhs.(r) <- Rat.Eps.scale inv t.rhs.(r);
+  for i = 0 to t.m - 1 do
+    if i <> r && not (Rat.is_zero t.a.(i).(j)) then begin
+      let factor = t.a.(i).(j) in
+      for c = 0 to t.cols - 1 do
+        t.a.(i).(c) <- Rat.sub t.a.(i).(c) (Rat.mul factor t.a.(r).(c))
+      done;
+      t.rhs.(i) <- Rat.Eps.sub t.rhs.(i) (Rat.Eps.scale factor t.rhs.(r))
+    end
+  done;
+  if not (Rat.is_zero t.zrow.(j)) then begin
+    let factor = t.zrow.(j) in
+    for c = 0 to t.cols - 1 do
+      t.zrow.(c) <- Rat.sub t.zrow.(c) (Rat.mul factor t.a.(r).(c))
+    done;
+    (* the objective row transforms like a constraint row whose
+       right-hand side is the negated objective value, so the value
+       itself increases by factor * rhs *)
+    t.zval <- Rat.Eps.add t.zval (Rat.Eps.scale factor t.rhs.(r))
+  end;
+  t.basis.(r) <- j
+
+(* Phase start: if some rhs is negative, pivot t in at the most
+   negative row, which makes every rhs non-negative (all t-column
+   entries are −1). *)
+let make_feasible t =
+  let worst = ref (-1) in
+  for i = 0 to t.m - 1 do
+    if Rat.Eps.compare t.rhs.(i) Rat.Eps.zero < 0 then
+      match !worst with
+      | -1 -> worst := i
+      | w -> if Rat.Eps.compare t.rhs.(i) t.rhs.(w) < 0 then worst := i
+  done;
+  if !worst >= 0 then pivot t !worst (t_col t.nvars)
+
+(* Bland's rule primal simplex for the max problem: entering = smallest
+   column with positive reduced cost; leaving = min-ratio row, ties by
+   smallest basic column. *)
+let optimize t =
+  let continue_ = ref true in
+  while !continue_ do
+    let entering = ref (-1) in
+    (for j = 0 to t.cols - 1 do
+       if !entering < 0 && Rat.sign t.zrow.(j) > 0 then entering := j
+     done);
+    if !entering < 0 then continue_ := false
+    else begin
+      let j = !entering in
+      let leave = ref (-1) in
+      let best = ref Rat.Eps.zero in
+      for i = 0 to t.m - 1 do
+        if Rat.sign t.a.(i).(j) > 0 then begin
+          let ratio = Rat.Eps.scale (Rat.inv t.a.(i).(j)) t.rhs.(i) in
+          if
+            !leave < 0
+            || Rat.Eps.compare ratio !best < 0
+            || (Rat.Eps.compare ratio !best = 0 && t.basis.(i) < t.basis.(!leave))
+          then begin
+            leave := i;
+            best := ratio
+          end
+        end
+      done;
+      if !leave < 0 then
+        (* cannot happen: the objective −t is bounded above by 0 *)
+        failwith "Simplex.optimize: unbounded";
+      pivot t !leave j
+    end
+  done
+
+(* Extract the rational primal point: standardize the ε-components with
+   a concrete ε small enough to keep every strict row strict. *)
+let extract_solution (sys : Lp.system) t =
+  let x_eps = Array.make t.nvars Rat.Eps.zero in
+  for i = 0 to t.m - 1 do
+    let b = t.basis.(i) in
+    if b < t.nvars then x_eps.(b) <- Rat.Eps.add x_eps.(b) t.rhs.(i)
+    else if b < 2 * t.nvars then
+      x_eps.(b - t.nvars) <- Rat.Eps.sub x_eps.(b - t.nvars) t.rhs.(i)
+  done;
+  (* find a concrete epsilon: halve until all rows check *)
+  let candidate e =
+    let x = Array.map (Rat.Eps.standardize_with e) x_eps in
+    if Lp.check_solution sys x then Some x else None
+  in
+  let rec search e fuel =
+    if fuel = 0 then None
+    else match candidate e with Some x -> Some x | None -> search (Rat.div e Rat.two) (fuel - 1)
+  in
+  (* the ε-feasible point guarantees a small enough concrete ε exists;
+     coefficients are rationals of bounded size, so few halvings are
+     ever needed (fuel is defensive) *)
+  search Rat.one 256
+
+(** Decide the system; same result shape as {!Lp.solve}. *)
+let solve (sys : Lp.system) =
+  let t = build sys in
+  make_feasible t;
+  optimize t;
+  (* optimum value is −t*: feasible iff zval = 0 *)
+  if Rat.Eps.compare t.zval Rat.Eps.zero >= 0 then begin
+    match extract_solution sys t with
+    | Some x -> Lp.Feasible x
+    | None ->
+        (* unreachable if the tableau logic is sound *)
+        failwith "Simplex.solve: could not standardize a feasible point"
+  end
+  else begin
+    (* infeasible: Farkas vector from the slack reduced costs *)
+    let y = Array.init t.m (fun i -> Rat.neg t.zrow.(slack_col t.nvars i)) in
+    let rows = Array.of_list sys.Lp.rows in
+    let y_b =
+      snd
+        (Array.fold_left
+           (fun (i, acc) yi ->
+             let _, _, b = rows.(i) in
+             (i + 1, Rat.add acc (Rat.mul yi b)))
+           (0, Rat.zero) y)
+    in
+    let strict_involved =
+      snd
+        (Array.fold_left
+           (fun (i, acc) yi ->
+             let _, rel, _ = rows.(i) in
+             (i + 1, acc || (Rat.sign yi > 0 && rel = Lp.Lt)))
+           (0, false) y)
+    in
+    Lp.Infeasible { Lp.y; y_b; strict_involved }
+  end

@@ -1,0 +1,15 @@
+(** Exact simplex feasibility solver for mixed strict/non-strict linear
+    systems, over the ε-extended rationals — the scalable companion to
+    the Fourier–Motzkin engine in {!Lp}.
+
+    A strict row [aᵀx < b] becomes [aᵀx ≤ b − ε] over the ordered field
+    ℚ(ε) with ε a positive infinitesimal ({!Rat.Eps}); the system is
+    then decided by a phase-1 simplex (maximize −t subject to
+    [A(u − v) − t·1 + s = b′], all variables non-negative) with Bland's
+    rule.  At optimum [t = 0] the system is feasible and the ε-point is
+    standardized to a strictly feasible rational solution; otherwise
+    the final reduced costs of the slack columns form a Farkas vector,
+    in exactly the certificate shape of the paper's Theorem 10. *)
+
+val solve : Lp.system -> Lp.result
+(** Same contract as {!Lp.solve}; polynomial-time in practice. *)

@@ -1,0 +1,132 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.is_negative den then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    if Bigint.is_one g then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+let num x = x.num
+let den x = x.den
+let sign x = Bigint.sign x.num
+let is_zero x = Bigint.is_zero x.num
+let is_integer x = Bigint.is_one x.den
+let neg x = { x with num = Bigint.neg x.num }
+let abs x = { x with num = Bigint.abs x.num }
+
+let add x y =
+  make
+    (Bigint.add (Bigint.mul x.num y.den) (Bigint.mul y.num x.den))
+    (Bigint.mul x.den y.den)
+
+let sub x y = add x (neg y)
+let mul x y = make (Bigint.mul x.num y.num) (Bigint.mul x.den y.den)
+let div x y = make (Bigint.mul x.num y.den) (Bigint.mul x.den y.num)
+
+let inv x =
+  if is_zero x then raise Division_by_zero;
+  make x.den x.num
+
+let mul_int x n = mul x (of_int n)
+
+let compare x y =
+  Bigint.compare (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)
+
+let equal x y = Bigint.equal x.num y.num && Bigint.equal x.den y.den
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+let floor x = Bigint.div x.num x.den (* Euclidean division is floor for positive den *)
+let ceil x = Bigint.neg (floor (neg x))
+let floor_int x = Bigint.to_int_exn (floor x)
+let ceil_int x = Bigint.to_int_exn (ceil x)
+let to_float x = Bigint.to_float x.num /. Bigint.to_float x.den
+
+let to_string x =
+  if is_integer x then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+      let a = Bigint.of_string (String.sub s 0 i) in
+      let b = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      make a b
+  | None -> (
+      match String.index_opt s '.' with
+      | None -> of_bigint (Bigint.of_string s)
+      | Some i ->
+          let int_part = String.sub s 0 i in
+          let frac = String.sub s (i + 1) (String.length s - i - 1) in
+          let scale = Bigint.pow Bigint.ten (String.length frac) in
+          let whole = Bigint.of_string (if int_part = "" || int_part = "-" then int_part ^ "0" else int_part) in
+          let fpart = make (Bigint.of_string ("0" ^ frac)) scale in
+          let fpart = if String.length s > 0 && s.[0] = '-' then neg fpart else fpart in
+          add (of_bigint whole) fpart)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+module O = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) x y = not (equal x y)
+  let ( < ) x y = compare x y < 0
+  let ( <= ) x y = compare x y <= 0
+  let ( > ) x y = compare x y > 0
+  let ( >= ) x y = compare x y >= 0
+end
+
+module Eps = struct
+  type rat = t
+
+  (* Aliases for the plain-rational operations shadowed below. *)
+  let rzero = zero
+  let rone = one
+  let radd = add
+  let rsub = sub
+  let rneg = neg
+  let rmul = mul
+  let rcompare = compare
+  let ris_zero = is_zero
+  let rpp = pp
+
+  type nonrec t = { std : t; eps : t }
+
+  let zero = { std = rzero; eps = rzero }
+  let one = { std = rone; eps = rzero }
+  let epsilon = { std = rzero; eps = rone }
+  let of_rat r = { std = r; eps = rzero }
+  let make std eps = { std; eps }
+  let add x y = { std = radd x.std y.std; eps = radd x.eps y.eps }
+  let sub x y = { std = rsub x.std y.std; eps = rsub x.eps y.eps }
+  let neg x = { std = rneg x.std; eps = rneg x.eps }
+  let scale c x = { std = rmul c x.std; eps = rmul c x.eps }
+
+  let compare x y =
+    let c = rcompare x.std y.std in
+    if c <> 0 then c else rcompare x.eps y.eps
+
+  let equal x y = compare x y = 0
+  let min x y = if compare x y <= 0 then x else y
+  let max x y = if compare x y >= 0 then x else y
+  let is_nonneg x = compare x zero >= 0
+  let standardize_with e x = radd x.std (rmul e x.eps)
+
+  let pp fmt x =
+    if ris_zero x.eps then rpp fmt x.std
+    else Format.fprintf fmt "%a + %a\xc2\xb7\xce\xb5" rpp x.std rpp x.eps
+end

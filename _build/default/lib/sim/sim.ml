@@ -1,0 +1,557 @@
+(** Message-driven discrete-event simulator.
+
+    This is the "distributed system" substrate of the reproduction: the
+    paper's claims are all about the causal structure (execution graph)
+    of executions of message-driven algorithms, which this simulator
+    produces exactly, under adversarial control of message delays.
+
+    Model (Section 2 of the paper):
+    - processes are state machines taking atomic, zero-time
+      receive+compute+send steps, each triggered by exactly one message;
+    - an external wake-up message triggers each process's first step,
+      before any message from another process is received;
+    - up to [f] processes may be Byzantine (arbitrary behaviour,
+      modelled by an alternative algorithm chosen by the experiment) or
+      crash after a given number of steps;
+    - every message sent by a correct process is received by every
+      recipient within finite time; a faulty receiver still {e receives}
+      (the receive event occurs) but need not {e process} the message.
+
+    The simulator records two execution graphs:
+    - [graph]: the paper's space–time diagram, with every message sent
+      by a faulty process dropped along with its send step and its
+      receive event (this is the graph the ABC synchrony condition
+      (Definition 4) constrains);
+    - [full_graph]: everything, used for uniform analyses
+      (cf. the remark after Theorem 5).
+
+    Delivery order and timing are controlled by a {!scheduler}, which
+    assigns each message a rational delay possibly depending on sender,
+    destination, send time and a per-message index. *)
+
+open Execgraph
+
+(** A message posted during a step. *)
+type 'm send = { dst : int; payload : 'm }
+
+(** A message-driven distributed algorithm.  [init] is the wake-up step
+    (the paper's externally triggered first computing step); [step]
+    handles one received message. *)
+type ('s, 'm) algorithm = {
+  init : self:int -> nprocs:int -> 's * 'm send list;
+  step : self:int -> nprocs:int -> 's -> sender:int -> 'm -> 's * 'm send list;
+}
+
+type fault =
+  | Correct
+  | Crash of int
+      (** [Crash k]: behaves correctly for its first [k] computing steps
+          (including the wake-up), then stops processing *)
+  | Byzantine  (** runs the experiment-supplied byzantine algorithm *)
+
+(** Scheduler: assigns a non-negative rational delay to each message.
+    [msg_index] is a global dense counter, usable for adversarial
+    targeting of individual messages. *)
+type 'm scheduler = {
+  delay :
+    sender:int -> dst:int -> send_time:Rat.t -> msg_index:int -> payload:'m -> Rat.t;
+}
+
+(** Per-event trace record, indexed by {e full-graph} event id. *)
+type 's trace_entry = {
+  tr_proc : int;
+  tr_sender : int;  (** [-1] for the wake-up *)
+  tr_time : Rat.t;
+  tr_faithful_id : int option;  (** node id in the faithful graph, if kept *)
+  tr_state_after : 's option;  (** [None] if the receiver did not process *)
+  tr_processed : bool;
+}
+
+type ('s, 'm) result = {
+  graph : Graph.t;  (** faithful execution graph (faulty-sent messages dropped) *)
+  full_graph : Graph.t;
+  final_states : 's array;
+  trace : 's trace_entry array;  (** indexed by full-graph event id *)
+  delivered : int;  (** number of receive events simulated *)
+  undelivered : int;  (** messages still in flight when the run stopped *)
+}
+
+type ('s, 'm) config = {
+  nprocs : int;
+  algorithm : ('s, 'm) algorithm;
+  byzantine : ('s, 'm) algorithm option;
+      (** behaviour of [Byzantine] processes; defaults to silence *)
+  faults : fault array;
+  scheduler : 'm scheduler;
+  max_events : int;  (** hard cap on simulated receive events *)
+  stop_when : 's array -> bool;  (** checked after every processed step *)
+}
+
+let default_stop _ = false
+
+let make_config ?byzantine ?(stop_when = default_stop) ~nprocs ~algorithm ~faults
+    ~scheduler ~max_events () =
+  if Array.length faults <> nprocs then invalid_arg "Sim.make_config: faults size";
+  if Array.exists (fun f -> f = Byzantine) faults && byzantine = None then
+    invalid_arg "Sim.make_config: Byzantine faults require a byzantine algorithm";
+  { nprocs; algorithm; byzantine; faults; scheduler; max_events; stop_when }
+
+(* In-flight message. *)
+type 'm envelope = {
+  env_sender : int;  (* -1 = wake-up *)
+  env_dst : int;
+  env_payload : 'm option;  (* None = wake-up *)
+  env_send_faithful : int option;  (* faithful node id of the sending step *)
+  env_sender_correct : bool;
+}
+
+module Agenda = Map.Make (struct
+  type t = Rat.t * int (* delivery time, tiebreak counter *)
+
+  let compare (t1, c1) (t2, c2) =
+    let c = Rat.compare t1 t2 in
+    if c <> 0 then c else Int.compare c1 c2
+end)
+
+(** Run a configuration to completion (queue exhausted, event cap hit,
+    or [stop_when] satisfied). *)
+let run (cfg : ('s, 'm) config) : ('s, 'm) result =
+  let n = cfg.nprocs in
+  let graph = Graph.create ~nprocs:n in
+  let full_graph = Graph.create ~nprocs:n in
+  let states : 's option array = Array.make n None in
+  let steps_executed = Array.make n 0 in
+  let trace = ref [] in
+  let agenda = ref Agenda.empty in
+  let counter = ref 0 in
+  let msg_index = ref 0 in
+  let is_byz p = cfg.faults.(p) = Byzantine in
+  let crashed p =
+    match cfg.faults.(p) with Crash k -> steps_executed.(p) >= k | _ -> false
+  in
+  let post time env =
+    incr counter;
+    agenda := Agenda.add (time, !counter) env !agenda
+  in
+  (* Wake-up messages, all at time 0, before anything else. *)
+  for p = 0 to n - 1 do
+    post Rat.zero
+      {
+        env_sender = -1;
+        env_dst = p;
+        env_payload = None;
+        env_send_faithful = None;
+        env_sender_correct = true;
+      }
+  done;
+  let delivered = ref 0 in
+  let stop = ref false in
+  while (not !stop) && (not (Agenda.is_empty !agenda)) && !delivered < cfg.max_events do
+    let ((time, _) as key), env = Agenda.min_binding !agenda in
+    agenda := Agenda.remove key !agenda;
+    let p = env.env_dst in
+    (* Record the receive event. *)
+    let _full_ev = Graph.add_event ~time full_graph ~proc:p in
+    let faithful_id =
+      if env.env_sender_correct then begin
+        let ev = Graph.add_event ~time graph ~proc:p in
+        (match env.env_send_faithful with
+        | Some src -> ignore (Graph.add_message graph ~src ~dst:ev.Event.id)
+        | None -> ());
+        Some ev.Event.id
+      end
+      else None
+    in
+    incr delivered;
+    (* Execute the computing step, unless the receiver has crashed. *)
+    let processed, state_after, sends =
+      if crashed p then
+        if env.env_sender = -1 && states.(p) = None then begin
+          (* a process that crashes before its very first step still
+             has a well-defined initial state — it just never acts on
+             it (its wake-up broadcast is lost with the crash) *)
+          let algo = if is_byz p then Option.get cfg.byzantine else cfg.algorithm in
+          let s, _suppressed = algo.init ~self:p ~nprocs:n in
+          (false, Some s, [])
+        end
+        else (false, states.(p), [])
+      else begin
+        let algo =
+          if is_byz p then Option.get cfg.byzantine (* validated in make_config *)
+          else cfg.algorithm
+        in
+        match (env.env_sender, env.env_payload, states.(p)) with
+        | -1, None, _ ->
+            (* wake-up: the very first step *)
+            let s, out = algo.init ~self:p ~nprocs:n in
+            steps_executed.(p) <- steps_executed.(p) + 1;
+            (true, Some s, out)
+        | sender, Some payload, Some s ->
+            let s', out = algo.step ~self:p ~nprocs:n s ~sender payload in
+            steps_executed.(p) <- steps_executed.(p) + 1;
+            (true, Some s', out)
+        | _, Some _, None ->
+            (* message arrived before the wake-up: the paper assumes the
+               wake-up occurs first; our agenda guarantees this (wake-ups
+               are posted at time 0 with the smallest counters), so this
+               is unreachable for time >= 0 schedules. *)
+            assert false
+        | _, None, _ -> assert false
+      end
+    in
+    states.(p) <- state_after;
+    (* Post the step's messages. *)
+    let sender_correct_now = not (is_byz p) in
+    List.iter
+      (fun { dst; payload } ->
+        let idx = !msg_index in
+        incr msg_index;
+        let d =
+          cfg.scheduler.delay ~sender:p ~dst ~send_time:time ~msg_index:idx ~payload
+        in
+        if Rat.sign d < 0 then invalid_arg "Sim.run: negative delay";
+        post (Rat.add time d)
+          {
+            env_sender = p;
+            env_dst = dst;
+            env_payload = Some payload;
+            env_send_faithful = (if sender_correct_now then faithful_id else None);
+            env_sender_correct = sender_correct_now;
+          })
+      sends;
+    trace :=
+      {
+        tr_proc = p;
+        tr_sender = env.env_sender;
+        tr_time = time;
+        tr_faithful_id = faithful_id;
+        tr_state_after = (if processed then state_after else None);
+        tr_processed = processed;
+      }
+      :: !trace;
+    if processed && Array.for_all Option.is_some states then
+      if cfg.stop_when (Array.map Option.get states) then stop := true
+  done;
+  let final_states =
+    Array.mapi
+      (fun p s ->
+        match s with
+        | Some s -> s
+        | None ->
+            (* a process that never woke up cannot happen: wake-ups are
+               delivered first and max_events >= nprocs is required *)
+            invalid_arg (Printf.sprintf "Sim.run: process %d never woke up" p))
+      states
+  in
+  {
+    graph;
+    full_graph;
+    final_states;
+    trace = Array.of_list (List.rev !trace);
+    delivered = !delivered;
+    undelivered = Agenda.cardinal !agenda;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Schedulers *)
+
+(** Θ-Model scheduler: delays drawn uniformly (as rationals with
+    denominator [grain]) from [[tau_minus, tau_plus]].  By Theorem 6
+    every execution it produces is ABC-admissible for any
+    [Ξ > tau_plus/tau_minus]. *)
+let theta_scheduler ~rng ~tau_minus ~tau_plus ?(grain = 1000) () =
+  if Rat.compare tau_minus tau_plus > 0 || Rat.sign tau_minus <= 0 then
+    invalid_arg "Sim.theta_scheduler: need 0 < tau_minus <= tau_plus";
+  {
+    delay =
+      (fun ~sender:_ ~dst:_ ~send_time:_ ~msg_index:_ ~payload:_ ->
+        let t = Random.State.int rng (grain + 1) in
+        let frac = Rat.of_ints t grain in
+        Rat.add tau_minus (Rat.mul frac (Rat.sub tau_plus tau_minus)));
+  }
+
+(** Fully asynchronous scheduler: delays uniform on [[0, max_delay]]
+    (zero-delay messages allowed, as in the ABC model). *)
+let async_scheduler ~rng ~max_delay ?(grain = 1000) () =
+  {
+    delay =
+      (fun ~sender:_ ~dst:_ ~send_time:_ ~msg_index:_ ~payload:_ ->
+        let t = Random.State.int rng (grain + 1) in
+        Rat.mul (Rat.of_ints t grain) max_delay);
+  }
+
+(** Fixed-delay scheduler (a degenerate Θ with τ− = τ+). *)
+let constant_scheduler d =
+  { delay = (fun ~sender:_ ~dst:_ ~send_time:_ ~msg_index:_ ~payload:_ -> d) }
+
+(** Growing-delay scheduler (Fig. 9 / the spacecraft-formation example
+    of Section 5.3): messages between processes in different {e
+    clusters} have delays that grow linearly with send time — they
+    increase without bound, which no bounded-delay model can express —
+    while intra-cluster delays stay within [[intra_min, intra_max]]. *)
+let growing_scheduler ~rng ~cluster_of ~intra_min ~intra_max ~inter_base ~growth_rate
+    ?(grain = 1000) () =
+  {
+    delay =
+      (fun ~sender ~dst ~send_time ~msg_index:_ ~payload:_ ->
+        if cluster_of sender = cluster_of dst then begin
+          let t = Random.State.int rng (grain + 1) in
+          let frac = Rat.of_ints t grain in
+          Rat.add intra_min (Rat.mul frac (Rat.sub intra_max intra_min))
+        end
+        else Rat.add inter_base (Rat.mul growth_rate send_time));
+  }
+
+(** ◇-model scheduler: chaotic delays (uniform on [[0, chaos_max]],
+    zero allowed) for messages sent before the global stabilization
+    time [gst], Θ-bounded delays from then on.  Executions are
+    eventually-ABC admissible (Section 6's ◇ABC / ?◇ABC variants):
+    some prefix may violate any given Ξ, but every relevant cycle
+    lying after a consistent cut around [gst] satisfies
+    [Ξ > tau_plus/tau_minus]. *)
+let eventually_theta_scheduler ~rng ~gst ~chaos_max ~tau_minus ~tau_plus ?(grain = 1000)
+    () =
+  let chaos = async_scheduler ~rng ~max_delay:chaos_max ~grain () in
+  let steady = theta_scheduler ~rng ~tau_minus ~tau_plus ~grain () in
+  {
+    delay =
+      (fun ~sender ~dst ~send_time ~msg_index ~payload ->
+        if Rat.compare send_time gst < 0 then
+          chaos.delay ~sender ~dst ~send_time ~msg_index ~payload
+        else steady.delay ~sender ~dst ~send_time ~msg_index ~payload);
+  }
+
+(** Adversarial targeted scheduler: like Θ on [tau_minus, tau_plus] but
+    messages selected by [victim] get delay [stretched].  Used to
+    construct executions that are ABC-admissible for a given Ξ yet
+    violate the Θ assumption for every Θ (arbitrarily slow isolated
+    messages, cf. Fig. 1 and Section 5.2). *)
+let targeted_scheduler ~rng ~tau_minus ~tau_plus ~victim ~stretched ?(grain = 1000) ()
+    =
+  let base = theta_scheduler ~rng ~tau_minus ~tau_plus ~grain () in
+  {
+    delay =
+      (fun ~sender ~dst ~send_time ~msg_index ~payload ->
+        if victim ~sender ~dst ~msg_index then stretched ~send_time
+        else base.delay ~sender ~dst ~send_time ~msg_index ~payload);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Post-hoc analyses *)
+
+(** Events of the faithful graph annotated with the algorithm states
+    reached, for algorithm-level analyses (clock values per event). *)
+let faithful_states result =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun te ->
+      match (te.tr_faithful_id, te.tr_state_after) with
+      | Some id, Some s -> Hashtbl.replace tbl id s
+      | _ -> ())
+    result.trace;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Oracle-guided deferring adversary *)
+
+(** [run_deferring cfg ~xi ~victim] runs like {!run} but replaces the
+    time-based scheduler with an {e adaptive adversary} that tries to
+    defer every message selected by [victim] for as long as the ABC
+    condition for [xi] allows:
+
+    before delivering the oldest non-victim message [m], the adversary
+    checks — on the recorded execution graph extended with [m]'s
+    receive event followed by the victim's receive event — whether the
+    deferral would still be admissible.  If yes, [m] is delivered and
+    the victim keeps waiting; otherwise the victim is delivered
+    immediately (the last admissible moment).
+
+    The resulting executions sit exactly at the admissibility boundary:
+    this is the adversary behind the paper's observation that the ABC
+    condition "facilitates timing out message chains" — the deferral a
+    victim can suffer is bounded by the Ξ-ratio of the cycles its late
+    arrival would close (cf. Fig. 3 and the S1 sweep).
+
+    Victim messages are identified by sender and destination.  Events
+    are stamped with a logical time (delivery index) rather than the
+    scheduler's real time. *)
+let run_deferring (cfg : ('s, 'm) config) ~xi
+    ~(victim : sender:int -> dst:int -> bool) : ('s, 'm) result =
+  let n = cfg.nprocs in
+  let graph = Graph.create ~nprocs:n in
+  let full_graph = Graph.create ~nprocs:n in
+  let states : 's option array = Array.make n None in
+  let steps_executed = Array.make n 0 in
+  let trace = ref [] in
+  let pending : 'm envelope list ref = ref [] in
+  let deferred : 'm envelope list ref = ref [] in
+  let is_byz p = cfg.faults.(p) = Byzantine in
+  let crashed p =
+    match cfg.faults.(p) with Crash k -> steps_executed.(p) >= k | _ -> false
+  in
+  for p = 0 to n - 1 do
+    pending :=
+      !pending
+      @ [
+          {
+            env_sender = -1;
+            env_dst = p;
+            env_payload = None;
+            env_send_faithful = None;
+            env_sender_correct = true;
+          };
+        ]
+  done;
+  let delivered = ref 0 in
+  let stop = ref false in
+  (* would delivering the given envelopes (in order) on top of the
+     recorded graph still be admissible?  Checked on a scratch copy of
+     the faithful graph (Graph.add_* mutate).  The adversary maintains
+     the invariant that the current graph extended with the whole
+     deferred queue is admissible, so forced deliveries (of queue
+     prefixes) can never violate. *)
+  let extension_admissible (envs : 'm envelope list) =
+    let g' = Graph.create ~nprocs:n in
+    let remap = Hashtbl.create 64 in
+    for id = 0 to Graph.event_count graph - 1 do
+      let ev = Graph.event graph id in
+      let ev' = Graph.add_event g' ~proc:ev.Event.proc in
+      Hashtbl.replace remap id ev'.Event.id
+    done;
+    List.iter
+      (fun (e : Digraph.edge) ->
+        if Graph.is_message graph e then
+          ignore
+            (Graph.add_message g' ~src:(Hashtbl.find remap e.src)
+               ~dst:(Hashtbl.find remap e.dst)))
+      (Digraph.edges (Graph.digraph graph));
+    List.iter
+      (fun env ->
+        if env.env_sender_correct then begin
+          let ev = Graph.add_event g' ~proc:env.env_dst in
+          match env.env_send_faithful with
+          | Some src ->
+              ignore (Graph.add_message g' ~src:(Hashtbl.find remap src) ~dst:ev.Event.id)
+          | None -> ()
+        end)
+      envs;
+    Abc_check.is_admissible g' ~xi
+  in
+  let deliver env =
+    let time = Rat.of_int !delivered in
+    let _full_ev = Graph.add_event ~time full_graph ~proc:env.env_dst in
+    let p = env.env_dst in
+    let faithful_id =
+      if env.env_sender_correct then begin
+        let ev = Graph.add_event ~time graph ~proc:p in
+        (match env.env_send_faithful with
+        | Some src -> ignore (Graph.add_message graph ~src ~dst:ev.Event.id)
+        | None -> ());
+        Some ev.Event.id
+      end
+      else None
+    in
+    incr delivered;
+    let processed, state_after, sends =
+      if crashed p then
+        if env.env_sender = -1 && states.(p) = None then begin
+          let algo = if is_byz p then Option.get cfg.byzantine else cfg.algorithm in
+          let s, _ = algo.init ~self:p ~nprocs:n in
+          (false, Some s, [])
+        end
+        else (false, states.(p), [])
+      else begin
+        let algo = if is_byz p then Option.get cfg.byzantine else cfg.algorithm in
+        match (env.env_sender, env.env_payload, states.(p)) with
+        | -1, None, _ ->
+            let s, out = algo.init ~self:p ~nprocs:n in
+            steps_executed.(p) <- steps_executed.(p) + 1;
+            (true, Some s, out)
+        | sender, Some payload, Some s ->
+            let s', out = algo.step ~self:p ~nprocs:n s ~sender payload in
+            steps_executed.(p) <- steps_executed.(p) + 1;
+            (true, Some s', out)
+        | _ -> assert false
+      end
+    in
+    states.(p) <- state_after;
+    let sender_correct_now = not (is_byz p) in
+    List.iter
+      (fun { dst; payload } ->
+        let env' =
+          {
+            env_sender = p;
+            env_dst = dst;
+            env_payload = Some payload;
+            env_send_faithful = (if sender_correct_now then faithful_id else None);
+            env_sender_correct = sender_correct_now;
+          }
+        in
+        if sender_correct_now && victim ~sender:p ~dst then deferred := !deferred @ [ env' ]
+        else pending := !pending @ [ env' ])
+      sends;
+    trace :=
+      {
+        tr_proc = p;
+        tr_sender = env.env_sender;
+        tr_time = time;
+        tr_faithful_id = faithful_id;
+        tr_state_after = (if processed then state_after else None);
+        tr_processed = processed;
+      }
+      :: !trace;
+    if processed && Array.for_all Option.is_some states then
+      if cfg.stop_when (Array.map Option.get states) then stop := true
+  in
+  while
+    (not !stop)
+    && ((!pending <> [] || !deferred <> []) && !delivered < cfg.max_events)
+  do
+    (* re-establish the queue invariant: new victim messages may have
+       been appended during the last step; release queue heads until
+       deferring the rest is admissible again *)
+    while !deferred <> [] && not (extension_admissible !deferred) do
+      match !deferred with
+      | v :: vs ->
+          deferred := vs;
+          deliver v
+      | [] -> ()
+    done;
+    if (not !stop) && (!pending <> [] || !deferred <> []) && !delivered < cfg.max_events
+    then begin
+      match (!pending, !deferred) with
+      | [], v :: vs ->
+          (* nothing else to deliver: the victim must arrive eventually *)
+          deferred := vs;
+          deliver v
+      | next :: rest, [] ->
+          pending := rest;
+          deliver next
+      | next :: rest, (v :: vs as dq) ->
+          if extension_admissible (next :: dq) then begin
+            pending := rest;
+            deliver next
+          end
+          else begin
+            deferred := vs;
+            deliver v
+          end
+      | [], [] -> assert false
+    end
+  done;
+  let final_states =
+    Array.mapi
+      (fun p s ->
+        match s with
+        | Some s -> s
+        | None -> invalid_arg (Printf.sprintf "Sim.run_deferring: process %d never woke up" p))
+      states
+  in
+  {
+    graph;
+    full_graph;
+    final_states;
+    trace = Array.of_list (List.rev !trace);
+    delivered = !delivered;
+    undelivered = List.length !pending + List.length !deferred;
+  }

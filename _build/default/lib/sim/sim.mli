@@ -1,0 +1,183 @@
+(** Message-driven discrete-event simulator.
+
+    This is the "distributed system" substrate of the reproduction: the
+    paper's claims are all about the causal structure (execution graph)
+    of executions of message-driven algorithms, which this simulator
+    produces exactly, under adversarial control of message delays.
+
+    Model (Section 2 of the paper):
+    - processes are state machines taking atomic, zero-time
+      receive+compute+send steps, each triggered by exactly one message;
+    - an external wake-up message triggers each process's first step,
+      before any message from another process is received;
+    - processes may be Byzantine (arbitrary behaviour, modelled by an
+      alternative algorithm chosen by the experiment) or crash after a
+      given number of steps;
+    - every message sent by a correct process is received by every
+      recipient within finite time; a faulty receiver still {e receives}
+      (the receive event occurs) but need not {e process} the message.
+
+    The simulator records two execution graphs: the {e faithful} graph
+    — the paper's space–time diagram, with every message sent by a
+    faulty process dropped along with its send step and its receive
+    event (the graph the ABC synchrony condition of Definition 4
+    constrains) — and the {e full} graph with everything, for uniform
+    analyses. *)
+
+(** A message posted during a step. *)
+type 'm send = { dst : int; payload : 'm }
+
+(** A message-driven distributed algorithm.  [init] is the wake-up step
+    (the paper's externally triggered first computing step); [step]
+    handles one received message. *)
+type ('s, 'm) algorithm = {
+  init : self:int -> nprocs:int -> 's * 'm send list;
+  step : self:int -> nprocs:int -> 's -> sender:int -> 'm -> 's * 'm send list;
+}
+
+type fault =
+  | Correct
+  | Crash of int
+      (** [Crash k]: behaves correctly for its first [k] computing steps
+          (including the wake-up), then stops processing *)
+  | Byzantine  (** runs the experiment-supplied byzantine algorithm *)
+
+(** Scheduler: assigns a non-negative rational delay to each message.
+    [msg_index] is a global dense counter, usable for adversarial
+    targeting of individual messages. *)
+type 'm scheduler = {
+  delay :
+    sender:int -> dst:int -> send_time:Rat.t -> msg_index:int -> payload:'m -> Rat.t;
+}
+
+(** Per-event trace record, indexed by {e full-graph} event id. *)
+type 's trace_entry = {
+  tr_proc : int;
+  tr_sender : int;  (** [-1] for the wake-up *)
+  tr_time : Rat.t;
+  tr_faithful_id : int option;  (** node id in the faithful graph, if kept *)
+  tr_state_after : 's option;  (** [None] if the receiver did not process *)
+  tr_processed : bool;
+}
+
+type ('s, 'm) result = {
+  graph : Execgraph.Graph.t;
+      (** faithful execution graph (faulty-sent messages dropped) *)
+  full_graph : Execgraph.Graph.t;
+  final_states : 's array;
+  trace : 's trace_entry array;  (** indexed by full-graph event id *)
+  delivered : int;  (** number of receive events simulated *)
+  undelivered : int;  (** messages still in flight when the run stopped *)
+}
+
+type ('s, 'm) config = {
+  nprocs : int;
+  algorithm : ('s, 'm) algorithm;
+  byzantine : ('s, 'm) algorithm option;
+  faults : fault array;
+  scheduler : 'm scheduler;
+  max_events : int;  (** hard cap on simulated receive events *)
+  stop_when : 's array -> bool;  (** checked after every processed step *)
+}
+
+val make_config :
+  ?byzantine:('s, 'm) algorithm ->
+  ?stop_when:('s array -> bool) ->
+  nprocs:int ->
+  algorithm:('s, 'm) algorithm ->
+  faults:fault array ->
+  scheduler:'m scheduler ->
+  max_events:int ->
+  unit ->
+  ('s, 'm) config
+(** Validates sizes and that [Byzantine] faults come with a byzantine
+    algorithm.  @raise Invalid_argument otherwise. *)
+
+val run : ('s, 'm) config -> ('s, 'm) result
+(** Run to completion: agenda exhausted, event cap hit, or [stop_when]
+    satisfied.  Deterministic given the scheduler. *)
+
+(** {1 Schedulers} *)
+
+val theta_scheduler :
+  rng:Random.State.t ->
+  tau_minus:Rat.t ->
+  tau_plus:Rat.t ->
+  ?grain:int ->
+  unit ->
+  'm scheduler
+(** Θ-Model scheduler: delays uniform on [[tau_minus, tau_plus]] (as
+    rationals with denominator [grain]).  By Theorem 6 every execution
+    it produces is ABC-admissible for any [Ξ > tau_plus/tau_minus]. *)
+
+val async_scheduler :
+  rng:Random.State.t -> max_delay:Rat.t -> ?grain:int -> unit -> 'm scheduler
+(** Fully asynchronous: delays uniform on [[0, max_delay]] (zero-delay
+    messages allowed, as in the ABC model). *)
+
+val constant_scheduler : Rat.t -> 'm scheduler
+(** Fixed delay (a degenerate Θ with τ− = τ+). *)
+
+val growing_scheduler :
+  rng:Random.State.t ->
+  cluster_of:(int -> int) ->
+  intra_min:Rat.t ->
+  intra_max:Rat.t ->
+  inter_base:Rat.t ->
+  growth_rate:Rat.t ->
+  ?grain:int ->
+  unit ->
+  'm scheduler
+(** Fig. 9 / §5.3 spacecraft formation: inter-cluster delays grow
+    linearly with send time (unbounded — no Θ-Model applies) while
+    intra-cluster delays stay within [[intra_min, intra_max]]. *)
+
+val eventually_theta_scheduler :
+  rng:Random.State.t ->
+  gst:Rat.t ->
+  chaos_max:Rat.t ->
+  tau_minus:Rat.t ->
+  tau_plus:Rat.t ->
+  ?grain:int ->
+  unit ->
+  'm scheduler
+(** ◇-model scheduler (§6 ◇ABC / ?◇ABC): chaotic delays on
+    [[0, chaos_max]] before the global stabilization time [gst],
+    Θ-bounded afterwards. *)
+
+val targeted_scheduler :
+  rng:Random.State.t ->
+  tau_minus:Rat.t ->
+  tau_plus:Rat.t ->
+  victim:(sender:int -> dst:int -> msg_index:int -> bool) ->
+  stretched:(send_time:Rat.t -> Rat.t) ->
+  ?grain:int ->
+  unit ->
+  'm scheduler
+(** Θ on non-victims; messages selected by [victim] get the [stretched]
+    delay — used to build ABC-admissible executions violating every Θ
+    (isolated slow chains, cf. Fig. 1 and §5.2). *)
+
+(** {1 Analyses} *)
+
+val faithful_states : ('s, 'm) result -> (int, 's) Hashtbl.t
+(** States reached after each faithful-graph event (event id -> state),
+    for algorithm-level analyses such as per-event clock values. *)
+
+(** {1 Oracle-guided deferring adversary} *)
+
+val run_deferring :
+  ('s, 'm) config ->
+  xi:Rat.t ->
+  victim:(sender:int -> dst:int -> bool) ->
+  ('s, 'm) result
+(** Like {!run}, but delivery order is chosen by an adaptive adversary
+    that defers every message selected by [victim] for as long as the
+    ABC condition for [xi] allows: before delivering the oldest
+    non-victim message, it checks on the recorded graph whether the
+    deferral would still be admissible, and delivers the victim at the
+    last admissible moment.  Executions sit exactly at the
+    admissibility boundary — the adversary behind the paper's
+    "timing out message chains" observation (Fig. 3, sweep S1).  The
+    config's [scheduler] is ignored; events are stamped with logical
+    times. *)

@@ -1,0 +1,1 @@
+test/test_abc.ml: Abc Abc_check Alcotest Core Event Execgraph Graph QCheck QCheck_alcotest Random Rat Test_execgraph Util

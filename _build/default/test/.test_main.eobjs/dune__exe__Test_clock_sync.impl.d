@@ -1,0 +1,1 @@
+test/test_clock_sync.ml: Alcotest Array Clock_sync Core Execgraph Fun List Printf QCheck QCheck_alcotest Random Rat Sim

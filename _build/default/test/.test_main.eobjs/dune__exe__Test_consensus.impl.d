@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Consensus Core Fun List Lockstep QCheck QCheck_alcotest Random Rat Sim

@@ -1,0 +1,1 @@
+test/test_cyclespace.ml: Abc_check Alcotest Cycle Cyclespace Digraph Event Execgraph Graph List QCheck QCheck_alcotest Random Rat Util

@@ -1,0 +1,1 @@
+test/test_delay_assignment.ml: Abc_check Alcotest Array Core Delay_assignment Execgraph Graph List Lp QCheck QCheck_alcotest Random Rat Test_execgraph Util

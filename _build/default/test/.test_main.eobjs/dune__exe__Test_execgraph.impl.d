@@ -1,0 +1,1 @@
+test/test_execgraph.ml: Abc_check Alcotest Array Cut Cycle Digraph Event Execgraph Fun Graph List QCheck QCheck_alcotest Random Rat Util

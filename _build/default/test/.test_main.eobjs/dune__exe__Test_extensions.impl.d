@@ -1,0 +1,1 @@
+test/test_extensions.ml: Abc_check Alcotest Array Core Execgraph List Lockstep Omega Printf Random Rat Related_models Scenarios Sim

@@ -1,0 +1,1 @@
+test/test_failure_detector.ml: Alcotest Array Core Execgraph Failure_detector QCheck QCheck_alcotest Random Rat Sim

@@ -1,0 +1,1 @@
+test/test_lockstep.ml: Alcotest Array Core Fun List Lockstep Printf QCheck QCheck_alcotest Random Rat Sim

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Abc_check Alcotest Array Bigint Core Cycle Digraph Event Execgraph Float Graph List QCheck QCheck_alcotest Rat Sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Abc_check Alcotest Array Core Event Execgraph Fun Graph List Printf Random Rat Sim

@@ -1,0 +1,1 @@
+test/util.ml: Execgraph

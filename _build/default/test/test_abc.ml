@@ -1,0 +1,71 @@
+(* Tests for Core.Abc: admissibility wrappers and the exact maximum
+   relevant-cycle ratio (parametric search), cross-validated against
+   the exhaustive enumeration oracle. *)
+
+open Core
+open Execgraph
+
+let xi a b = Rat.of_ints a b
+
+let unit_tests =
+  [
+    Alcotest.test_case "params validation" `Quick (fun () ->
+        Alcotest.check_raises "Xi = 1 rejected" (Invalid_argument "Abc.make_params: need Xi > 1")
+          (fun () -> ignore (Abc.make_params Rat.one));
+        let p = Abc.make_params (xi 3 2) in
+        Alcotest.(check bool) "stores" true (Rat.equal p.Abc.xi (xi 3 2)));
+    Alcotest.test_case "max ratio of fig1 is 5/4" `Quick (fun () ->
+        let g = Test_execgraph.build_fig1 () in
+        match Abc.max_relevant_ratio g with
+        | None -> Alcotest.fail "expected a ratio"
+        | Some r -> Alcotest.(check bool) "5/4" true (Rat.equal r (xi 5 4)));
+    Alcotest.test_case "max ratio of fig3 is 2" `Quick (fun () ->
+        let g = Test_execgraph.build_fig ~reply_after_psi:true () in
+        match Abc.max_relevant_ratio g with
+        | None -> Alcotest.fail "expected a ratio"
+        | Some r -> Alcotest.(check bool) "2" true (Rat.equal r (xi 2 1)));
+    Alcotest.test_case "graph with only non-relevant cycles: None" `Quick (fun () ->
+        (* a single self-message cycle *)
+        let g = Graph.create ~nprocs:1 in
+        let a = Graph.add_event g ~proc:0 in
+        let b = Graph.add_event g ~proc:0 in
+        ignore (Graph.add_message g ~src:a.Event.id ~dst:b.Event.id);
+        Alcotest.(check bool) "None" true (Abc.max_relevant_ratio g = None));
+    Alcotest.test_case "empty graph: None" `Quick (fun () ->
+        let g = Graph.create ~nprocs:2 in
+        ignore (Graph.add_event g ~proc:0);
+        Alcotest.(check bool) "None" true (Abc.max_relevant_ratio g = None));
+    Alcotest.test_case "threshold string" `Quick (fun () ->
+        let g = Test_execgraph.build_fig1 () in
+        Alcotest.(check string) "5/4" "5/4" (Abc.admissibility_threshold g));
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1_000_000)
+
+let property_tests =
+  [
+    prop "max ratio agrees with enumeration oracle" 120 arb_seed (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:3 ~max_events:14 ~max_delay:3 ~fanout:2 in
+        let fast = Abc.max_relevant_ratio g in
+        let slow = Util.max_relevant_ratio g in
+        match (fast, slow) with
+        | None, None -> true
+        | None, Some r -> Rat.compare r Rat.one <= 0 (* <=1 collapses to None *)
+        | Some _, None -> false
+        | Some a, Some b -> Rat.equal a b);
+    prop "admissible strictly above the max ratio, violating at it" 60 arb_seed
+      (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:3 ~max_events:16 ~max_delay:4 ~fanout:2 in
+        match Abc.max_relevant_ratio g with
+        | None -> Abc_check.is_admissible g ~xi:(xi 101 100)
+        | Some r ->
+            let just_above = Rat.add r (Rat.of_ints 1 1000) in
+            Abc_check.is_admissible g ~xi:just_above
+            && (Rat.compare r Rat.one <= 0 || not (Abc_check.is_admissible g ~xi:r)));
+  ]
+
+let suite = unit_tests @ property_tests

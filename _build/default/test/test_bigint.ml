@@ -1,0 +1,196 @@
+(* Unit and property tests for the arbitrary-precision integer substrate. *)
+
+let bi = Bigint.of_int
+let s = Bigint.to_string
+let check_str msg expected actual = Alcotest.(check string) msg expected actual
+
+(* A generator producing integers spanning several digit widths,
+   including values far beyond the native range. *)
+let gen_bigint =
+  let open QCheck.Gen in
+  let small = map Bigint.of_int (int_range (-1000) 1000) in
+  let native = map Bigint.of_int int in
+  let wide =
+    map3
+      (fun a b c ->
+        Bigint.add (Bigint.mul (Bigint.of_int a) (Bigint.of_int b)) (Bigint.of_int c))
+      int int int
+  in
+  let huge =
+    map2
+      (fun x k -> Bigint.shift_left (Bigint.of_int x) (abs k mod 200))
+      int (int_range 0 200)
+  in
+  frequency [ (2, small); (2, native); (3, wide); (2, huge) ]
+
+let arb_bigint = QCheck.make ~print:Bigint.to_string gen_bigint
+
+let arb_nonzero =
+  QCheck.make ~print:Bigint.to_string
+    (QCheck.Gen.map
+       (fun x -> if Bigint.is_zero x then Bigint.one else x)
+       gen_bigint)
+
+let unit_tests =
+  [
+    Alcotest.test_case "of_int/to_string basics" `Quick (fun () ->
+        check_str "zero" "0" (s (bi 0));
+        check_str "one" "1" (s (bi 1));
+        check_str "neg" "-42" (s (bi (-42)));
+        check_str "max_int" (string_of_int max_int) (s (bi max_int));
+        check_str "min_int" (string_of_int min_int) (s (bi min_int)));
+    Alcotest.test_case "of_string roundtrip" `Quick (fun () ->
+        List.iter
+          (fun str -> check_str str str (s (Bigint.of_string str)))
+          [
+            "0"; "1"; "-1"; "123456789012345678901234567890";
+            "-98765432109876543210987654321098765432109876543210";
+            "1000000000000000000000000000000000000000";
+          ];
+        check_str "underscores" "1234567" (s (Bigint.of_string "1_234_567")));
+    Alcotest.test_case "add/sub carry chains" `Quick (fun () ->
+        let x = Bigint.of_string "999999999999999999999999999999" in
+        check_str "x+1" "1000000000000000000000000000000" (s (Bigint.succ x));
+        check_str "(x+1)-1" (s x) (s (Bigint.pred (Bigint.succ x))));
+    Alcotest.test_case "mul known values" `Quick (fun () ->
+        let x = Bigint.of_string "123456789123456789" in
+        check_str "square" "15241578780673678515622620750190521"
+          (s (Bigint.mul x x));
+        check_str "times zero" "0" (s (Bigint.mul x Bigint.zero));
+        check_str "neg*neg" (s (Bigint.mul x x))
+          (s (Bigint.mul (Bigint.neg x) (Bigint.neg x))));
+    Alcotest.test_case "divmod known values" `Quick (fun () ->
+        let a = Bigint.of_string "10000000000000000000000000000000000001" in
+        let b = Bigint.of_string "333333333333333333" in
+        let q, r = Bigint.divmod a b in
+        check_str "reconstruct" (s a) (s (Bigint.add (Bigint.mul q b) r));
+        Alcotest.(check bool) "r in range" true
+          (Bigint.compare r Bigint.zero >= 0 && Bigint.compare r (Bigint.abs b) < 0));
+    Alcotest.test_case "euclidean remainder is non-negative" `Quick (fun () ->
+        List.iter
+          (fun (a, b) ->
+            let q, r = Bigint.divmod (bi a) (bi b) in
+            Alcotest.(check bool)
+              (Printf.sprintf "%d /%% %d" a b)
+              true
+              (Bigint.sign r >= 0
+              && Bigint.compare r (Bigint.abs (bi b)) < 0
+              && Bigint.equal (bi a) (Bigint.add (Bigint.mul q (bi b)) r)))
+          [ (7, 3); (-7, 3); (7, -3); (-7, -3); (0, 5); (6, 3); (-6, 3); (-6, -3) ]);
+    Alcotest.test_case "divmod regression: power-of-two divisors, s=0 path" `Quick
+      (fun () ->
+        (* Knuth D with a normalized divisor (shift 0) must still extend
+           the dividend by a top digit; 2^59's top digit is 2^29, which
+           is already normalized in base 2^30. *)
+        List.iter
+          (fun (kx, kd) ->
+            let x = Bigint.pred (Bigint.pow Bigint.two kx) in
+            let d = Bigint.pow Bigint.two kd in
+            let q, r = Bigint.divmod x d in
+            Alcotest.(check bool)
+              (Printf.sprintf "2^%d-1 / 2^%d" kx kd)
+              true
+              (Bigint.equal x (Bigint.add (Bigint.mul q d) r)
+              && Bigint.sign r >= 0
+              && Bigint.compare r d < 0))
+          [ (90, 59); (120, 59); (120, 89); (300, 239); (61, 59) ]);
+    Alcotest.test_case "pow" `Quick (fun () ->
+        check_str "2^100" "1267650600228229401496703205376" (s (Bigint.pow Bigint.two 100));
+        check_str "x^0" "1" (s (Bigint.pow (bi 12345) 0));
+        check_str "(-3)^3" "-27" (s (Bigint.pow (bi (-3)) 3)));
+    Alcotest.test_case "shifts" `Quick (fun () ->
+        check_str "1 << 100" (s (Bigint.pow Bigint.two 100)) (s (Bigint.shift_left Bigint.one 100));
+        check_str "shift back" "1" (s (Bigint.shift_right (Bigint.shift_left Bigint.one 100) 100));
+        check_str "floor of -5 >> 1" "-3" (s (Bigint.shift_right (bi (-5)) 1));
+        check_str "floor of -4 >> 1" "-2" (s (Bigint.shift_right (bi (-4)) 1)));
+    Alcotest.test_case "gcd/lcm" `Quick (fun () ->
+        check_str "gcd" "6" (s (Bigint.gcd (bi 54) (bi (-24))));
+        check_str "gcd with zero" "7" (s (Bigint.gcd (bi 0) (bi 7)));
+        check_str "lcm" "36" (s (Bigint.lcm (bi 12) (bi 18)));
+        let big = Bigint.pow (bi 10) 50 in
+        check_str "gcd big" (s big) (s (Bigint.gcd big (Bigint.mul big (bi 3)))));
+    Alcotest.test_case "to_int bounds" `Quick (fun () ->
+        Alcotest.(check (option int)) "max_int" (Some max_int) (Bigint.to_int (bi max_int));
+        Alcotest.(check (option int)) "min_int+1" (Some (min_int + 1)) (Bigint.to_int (bi (min_int + 1)));
+        Alcotest.(check (option int)) "overflow" None
+          (Bigint.to_int (Bigint.mul (bi max_int) (bi 2))));
+    Alcotest.test_case "of_float_floor" `Quick (fun () ->
+        check_str "3.7" "3" (s (Bigint.of_float_floor 3.7));
+        check_str "-3.2" "-4" (s (Bigint.of_float_floor (-3.2)));
+        check_str "1e20" "100000000000000000000" (s (Bigint.of_float_floor 1e20)));
+    Alcotest.test_case "compare is a total order on samples" `Quick (fun () ->
+        let xs = List.map bi [ -100; -1; 0; 1; 2; 100; max_int ] in
+        List.iteri
+          (fun i x ->
+            List.iteri
+              (fun j y ->
+                Alcotest.(check int)
+                  (Printf.sprintf "cmp %d %d" i j)
+                  (compare i j) (Bigint.compare x y))
+              xs)
+          xs);
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let property_tests =
+  [
+    prop "string roundtrip" 500 arb_bigint (fun x ->
+        Bigint.equal x (Bigint.of_string (Bigint.to_string x)));
+    prop "normal form" 500 arb_bigint Bigint.check_invariant;
+    prop "add commutative" 300 (QCheck.pair arb_bigint arb_bigint) (fun (x, y) ->
+        Bigint.equal (Bigint.add x y) (Bigint.add y x));
+    prop "add associative" 300 (QCheck.triple arb_bigint arb_bigint arb_bigint)
+      (fun (x, y, z) ->
+        Bigint.equal (Bigint.add (Bigint.add x y) z) (Bigint.add x (Bigint.add y z)));
+    prop "sub then add" 300 (QCheck.pair arb_bigint arb_bigint) (fun (x, y) ->
+        Bigint.equal x (Bigint.add (Bigint.sub x y) y));
+    prop "mul commutative" 300 (QCheck.pair arb_bigint arb_bigint) (fun (x, y) ->
+        Bigint.equal (Bigint.mul x y) (Bigint.mul y x));
+    prop "mul distributes" 300 (QCheck.triple arb_bigint arb_bigint arb_bigint)
+      (fun (x, y, z) ->
+        Bigint.equal
+          (Bigint.mul x (Bigint.add y z))
+          (Bigint.add (Bigint.mul x y) (Bigint.mul x z)));
+    prop "divmod identity" 500 (QCheck.pair arb_bigint arb_nonzero) (fun (a, b) ->
+        let q, r = Bigint.divmod a b in
+        Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+        && Bigint.sign r >= 0
+        && Bigint.compare r (Bigint.abs b) < 0);
+    prop "div by self" 300 arb_nonzero (fun x ->
+        Bigint.equal Bigint.one (Bigint.div x x));
+    prop "gcd divides both" 300 (QCheck.pair arb_bigint arb_bigint) (fun (x, y) ->
+        let g = Bigint.gcd x y in
+        if Bigint.is_zero g then Bigint.is_zero x && Bigint.is_zero y
+        else Bigint.is_zero (Bigint.rem x g) && Bigint.is_zero (Bigint.rem y g));
+    prop "gcd is non-negative and symmetric" 300 (QCheck.pair arb_bigint arb_bigint)
+      (fun (x, y) ->
+        let g = Bigint.gcd x y in
+        Bigint.sign g >= 0 && Bigint.equal g (Bigint.gcd y x));
+    prop "shift_left equals mul by power" 200
+      (QCheck.pair arb_bigint (QCheck.int_range 0 120))
+      (fun (x, k) ->
+        Bigint.equal (Bigint.shift_left x k) (Bigint.mul x (Bigint.pow Bigint.two k)));
+    prop "shift_right is floor division" 200
+      (QCheck.pair arb_bigint (QCheck.int_range 0 120))
+      (fun (x, k) ->
+        let d = Bigint.pow Bigint.two k in
+        Bigint.equal (Bigint.shift_right x k) (Bigint.div x d)
+        (* Euclidean division by a positive divisor is floor division. *));
+    prop "compare antisymmetric" 300 (QCheck.pair arb_bigint arb_bigint) (fun (x, y) ->
+        Bigint.compare x y = -Bigint.compare y x);
+    prop "neg involutive" 300 arb_bigint (fun x -> Bigint.equal x (Bigint.neg (Bigint.neg x)));
+    prop "abs non-negative" 300 arb_bigint (fun x -> Bigint.sign (Bigint.abs x) >= 0);
+    prop "int agreement" 500 (QCheck.pair QCheck.int QCheck.int) (fun (a, b) ->
+        (* Cross-check against native arithmetic where it cannot overflow. *)
+        let a = a asr 2 and b = b asr 2 in
+        Bigint.equal (Bigint.add (bi a) (bi b)) (bi (a + b))
+        && Bigint.equal (Bigint.sub (bi a) (bi b)) (bi (a - b))
+        && Bigint.compare (bi a) (bi b) = compare a b);
+    prop "to_float sign" 300 arb_bigint (fun x ->
+        let f = Bigint.to_float x in
+        (Bigint.sign x > 0 && f > 0.) || (Bigint.sign x < 0 && f < 0.)
+        || (Bigint.sign x = 0 && f = 0.));
+  ]
+
+let suite = unit_tests @ property_tests

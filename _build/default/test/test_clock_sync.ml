@@ -1,0 +1,142 @@
+(* Tests for Algorithm 1 (clock synchronization): Theorems 1-4 and
+   Lemma 4, under Θ and targeted schedulers, with crash and Byzantine
+   faults. *)
+
+open Core
+
+let xi a b = Rat.of_ints a b
+let q = Rat.of_ints
+
+let run ?(seed = 7) ?(nprocs = 4) ?(f = 1) ?(max_events = 400)
+    ?(faults = None) ?(byz = None) ?(tau = (1, 2)) () =
+  let rng = Random.State.make [| seed |] in
+  let tau_minus, tau_plus = tau in
+  let scheduler =
+    Sim.theta_scheduler ~rng ~tau_minus:(q tau_minus 1) ~tau_plus:(q tau_plus 1) ()
+  in
+  let faults =
+    match faults with Some fs -> fs | None -> Array.make nprocs Sim.Correct
+  in
+  let cfg =
+    Sim.make_config ?byzantine:byz ~nprocs ~algorithm:(Clock_sync.algorithm ~f) ~faults
+      ~scheduler ~max_events ()
+  in
+  Sim.run cfg
+
+let correct_of faults =
+  List.filter (fun p -> faults.(p) = Sim.Correct) (List.init (Array.length faults) Fun.id)
+
+let unit_tests =
+  [
+    Alcotest.test_case "thm1: progress, fault-free n=4" `Quick (fun () ->
+        let result = run () in
+        Array.iter
+          (fun st ->
+            Alcotest.(check bool) "clock grew" true (Clock_sync.clock st > 5))
+          result.Sim.final_states);
+    Alcotest.test_case "thm1: progress with f=1 crash, n=4" `Quick (fun () ->
+        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 3 |] in
+        let result = run ~faults:(Some faults) () in
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) "correct clock grew" true
+              (Clock_sync.clock result.Sim.final_states.(p) > 5))
+          (correct_of faults));
+    Alcotest.test_case "thm1: progress with f=1 byzantine rusher, n=4" `Quick (fun () ->
+        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |] in
+        let result =
+          run ~faults:(Some faults) ~byz:(Some (Clock_sync.byzantine_rusher ~ahead:7)) ()
+        in
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) "correct clock grew" true
+              (Clock_sync.clock result.Sim.final_states.(p) > 5))
+          (correct_of faults));
+    Alcotest.test_case "thm2: skew on cuts <= 2Xi (fault-free)" `Quick (fun () ->
+        (* Θ scheduler with ratio 2; any Xi > 2 admits the execution *)
+        let result = run ~max_events:250 () in
+        let x = xi 5 2 in
+        let input = { Clock_sync.result; correct = [ 0; 1; 2; 3 ]; xi = x } in
+        let bound = Rat.floor_int (Rat.mul Rat.two x) in
+        let skew = Clock_sync.max_skew_on_cuts input in
+        Alcotest.(check bool)
+          (Printf.sprintf "skew %d <= %d" skew bound)
+          true (skew <= bound));
+    Alcotest.test_case "thm2: skew bound with byzantine rusher" `Quick (fun () ->
+        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |] in
+        let result =
+          run ~faults:(Some faults) ~max_events:250
+            ~byz:(Some (Clock_sync.byzantine_rusher ~ahead:9)) ()
+        in
+        let x = xi 5 2 in
+        let input = { Clock_sync.result; correct = [ 0; 1; 2 ]; xi = x } in
+        let skew = Clock_sync.max_skew_on_cuts input in
+        Alcotest.(check bool) "skew <= 2Xi" true (skew <= Rat.floor_int (Rat.mul Rat.two x)));
+    Alcotest.test_case "thm3: real-time skew <= 2Xi" `Quick (fun () ->
+        let result = run ~max_events:250 () in
+        let x = xi 5 2 in
+        let input = { Clock_sync.result; correct = [ 0; 1; 2; 3 ]; xi = x } in
+        let skew = Clock_sync.max_skew_realtime input in
+        Alcotest.(check bool) "skew <= 2Xi" true (skew <= Rat.floor_int (Rat.mul Rat.two x)));
+    Alcotest.test_case "the execution is ABC-admissible for Xi > Theta" `Quick (fun () ->
+        let result = run ~max_events:200 () in
+        Alcotest.(check bool) "admissible" true
+          (Execgraph.Abc_check.is_admissible result.Sim.graph ~xi:(xi 5 2)));
+    Alcotest.test_case "lemma 4: causal cone holds" `Quick (fun () ->
+        let result = run ~max_events:250 () in
+        let input = { Clock_sync.result; correct = [ 0; 1; 2; 3 ]; xi = xi 5 2 } in
+        let checked, violations = Clock_sync.causal_cone_violations input in
+        Alcotest.(check bool) "nontrivial" true (checked > 0);
+        Alcotest.(check int) "no violations" 0 (List.length violations));
+    Alcotest.test_case "lemma 4: causal cone with crash + byzantine mix" `Quick (fun () ->
+        let faults =
+          [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 10; Sim.Byzantine |]
+        in
+        let result =
+          run ~nprocs:7 ~f:2 ~faults:(Some faults) ~max_events:500
+            ~byz:(Some (Clock_sync.byzantine_rusher ~ahead:5)) ()
+        in
+        let input =
+          { Clock_sync.result; correct = [ 0; 1; 2; 3; 4 ]; xi = xi 5 2 }
+        in
+        let checked, violations = Clock_sync.causal_cone_violations input in
+        Alcotest.(check bool) "nontrivial" true (checked > 0);
+        Alcotest.(check int) "no violations" 0 (List.length violations));
+    Alcotest.test_case "thm4: bounded progress rho = 4Xi+1" `Quick (fun () ->
+        let result = run ~max_events:220 () in
+        let input = { Clock_sync.result; correct = [ 0; 1; 2; 3 ]; xi = xi 5 2 } in
+        let checked, violations = Clock_sync.bounded_progress_violations input in
+        Alcotest.(check bool) "nontrivial" true (checked > 0);
+        Alcotest.(check int) "no violations" 0 (List.length violations));
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100000)
+
+let property_tests =
+  [
+    prop "thm2 skew bound across seeds and fault mixes" 15 arb_seed (fun seed ->
+        let faults =
+          match seed mod 3 with
+          | 0 -> [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct |]
+          | 1 -> [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash (seed mod 7) |]
+          | _ -> [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |]
+        in
+        let byz =
+          if Array.exists (fun f -> f = Sim.Byzantine) faults then
+            Some (Clock_sync.byzantine_rusher ~ahead:(1 + (seed mod 6)))
+          else None
+        in
+        let result = run ~seed ~faults:(Some faults) ~byz ~max_events:200 () in
+        let correct = correct_of faults in
+        let x = xi 5 2 in
+        let input = { Clock_sync.result; correct; xi = x } in
+        Clock_sync.max_skew_on_cuts input <= Rat.floor_int (Rat.mul Rat.two x));
+    prop "lemma 4 across seeds" 10 arb_seed (fun seed ->
+        let result = run ~seed ~max_events:180 () in
+        let input = { Clock_sync.result; correct = [ 0; 1; 2; 3 ]; xi = xi 5 2 } in
+        snd (Clock_sync.causal_cone_violations input) = []);
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,272 @@
+(* Tests for Byzantine consensus: EIG (n > 3f) and phase queen
+   (n > 4f), over the perfect synchronous executor (with two-faced
+   Byzantine behaviour) and over the ABC lock-step simulation. *)
+
+open Core
+
+let q = Rat.of_ints
+
+(* ------------------------------------------------------------------ *)
+(* Synchronous executor runs *)
+
+let sync_eig ~n ~f ~inputs ~behaviors =
+  let algo = Consensus.Eig.algo ~f ~value:(fun p -> inputs.(p)) in
+  let finals = Consensus.run_synchronous ~nprocs:n ~behaviors ~algo ~nrounds:(f + 1) in
+  List.map (fun (p, st) -> (p, Consensus.Eig.decision st)) finals
+
+let sync_queen ~n ~f ~inputs ~behaviors =
+  let algo = Consensus.Queen.algo ~f ~value:(fun p -> inputs.(p)) in
+  let finals =
+    Consensus.run_synchronous ~nprocs:n ~behaviors ~algo ~nrounds:(2 * (f + 1))
+  in
+  List.map (fun (p, st) -> (p, Consensus.Queen.decision st)) finals
+
+let correct_inputs inputs behaviors =
+  List.filteri (fun p _ -> behaviors.(p) = Consensus.B_correct) (Array.to_list inputs)
+
+(* EIG messages are (sigma, value) relays; a two-faced byzantine sends
+   different fabricated trees to different destinations. *)
+let two_faced_eig ~round ~dst =
+  if round = 0 then Some [ ([], dst mod 2) ]
+  else Some (List.init 2 (fun i -> (List.init round (fun j -> (dst + i + j) mod 7), (dst + i) mod 2)))
+
+let two_faced_queen ~round ~dst = Some ((round + dst) mod 2)
+
+let agree name decisions inputs =
+  Alcotest.(check bool) name true (Consensus.check_agreement decisions ~inputs)
+
+let sync_tests =
+  [
+    Alcotest.test_case "eig: agreement fault-free, n=4" `Quick (fun () ->
+        let behaviors = Array.make 4 Consensus.B_correct in
+        let inputs = [| 1; 0; 1; 1 |] in
+        let d = sync_eig ~n:4 ~f:1 ~inputs ~behaviors in
+        agree "agreement" d (correct_inputs inputs behaviors));
+    Alcotest.test_case "eig: validity on unanimous inputs" `Quick (fun () ->
+        let behaviors = Array.make 4 Consensus.B_correct in
+        let inputs = [| 1; 1; 1; 1 |] in
+        let d = sync_eig ~n:4 ~f:1 ~inputs ~behaviors in
+        agree "validity" d (correct_inputs inputs behaviors);
+        List.iter (fun (_, dec) -> Alcotest.(check (option int)) "decide 1" (Some 1) dec) d);
+    Alcotest.test_case "eig: agreement with a two-faced byzantine, n=4 f=1" `Quick
+      (fun () ->
+        let behaviors =
+          [| Consensus.B_correct; Consensus.B_correct; Consensus.B_correct;
+             Consensus.B_byzantine two_faced_eig |]
+        in
+        let inputs = [| 0; 1; 1; 0 |] in
+        let d = sync_eig ~n:4 ~f:1 ~inputs ~behaviors in
+        agree "agreement" d (correct_inputs inputs behaviors));
+    Alcotest.test_case "eig: n=7 f=2 with crash + byzantine" `Quick (fun () ->
+        let behaviors =
+          [| Consensus.B_correct; Consensus.B_correct; Consensus.B_correct;
+             Consensus.B_correct; Consensus.B_correct; Consensus.B_crash 1;
+             Consensus.B_byzantine two_faced_eig |]
+        in
+        let inputs = [| 1; 1; 0; 1; 0; 1; 0 |] in
+        let d = sync_eig ~n:7 ~f:2 ~inputs ~behaviors in
+        agree "agreement" d (correct_inputs inputs behaviors));
+    Alcotest.test_case "queen: agreement with byzantine, n=5 f=1" `Quick (fun () ->
+        let behaviors =
+          [| Consensus.B_correct; Consensus.B_correct; Consensus.B_correct;
+             Consensus.B_correct; Consensus.B_byzantine two_faced_queen |]
+        in
+        let inputs = [| 0; 1; 1; 1; 0 |] in
+        let d = sync_queen ~n:5 ~f:1 ~inputs ~behaviors in
+        agree "agreement" d (correct_inputs inputs behaviors));
+    Alcotest.test_case "queen: validity on unanimous inputs, n=5 f=1" `Quick (fun () ->
+        let behaviors =
+          [| Consensus.B_correct; Consensus.B_correct; Consensus.B_correct;
+             Consensus.B_correct; Consensus.B_crash 2 |]
+        in
+        let inputs = [| 1; 1; 1; 1; 1 |] in
+        let d = sync_queen ~n:5 ~f:1 ~inputs ~behaviors in
+        List.iter (fun (_, dec) -> Alcotest.(check (option int)) "decide 1" (Some 1) dec) d);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Over the ABC lock-step simulation *)
+
+let lockstep_consensus ?(seed = 21) ?(nprocs = 4) ?(f = 1) ?(xi = q 5 2) ~inputs ~faults
+    ?byz () =
+  let rng = Random.State.make [| seed |] in
+  let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) () in
+  let algo = Consensus.Eig.algo ~f ~value:(fun p -> inputs.(p)) in
+  let cfg =
+    Sim.make_config ?byzantine:byz ~nprocs
+      ~algorithm:(Lockstep.algorithm ~f ~xi algo)
+      ~faults ~scheduler ~max_events:3000
+      ~stop_when:(fun states ->
+        List.for_all
+          (fun p ->
+            faults.(p) <> Sim.Correct
+            || Consensus.Eig.decision (Lockstep.round_state states.(p)) <> None)
+          (List.init nprocs Fun.id))
+      ()
+  in
+  Sim.run cfg
+
+let lockstep_tests =
+  [
+    Alcotest.test_case "eig over lock-step: fault-free agreement" `Quick (fun () ->
+        let inputs = [| 1; 0; 1; 0 |] in
+        let faults = Array.make 4 Sim.Correct in
+        let r = lockstep_consensus ~inputs ~faults () in
+        let decisions =
+          List.map
+            (fun p -> (p, Consensus.Eig.decision (Lockstep.round_state r.Sim.final_states.(p))))
+            [ 0; 1; 2; 3 ]
+        in
+        Alcotest.(check bool) "all decided" true
+          (List.for_all (fun (_, d) -> d <> None) decisions);
+        agree "agreement" decisions (Array.to_list inputs));
+    Alcotest.test_case "eig over lock-step: byzantine liar, n=4 f=1" `Quick (fun () ->
+        let inputs = [| 1; 1; 1; 0 |] in
+        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |] in
+        let byz_algo =
+          (* participates in clock sync but relays junk values; its
+             round state must share the Eig state type *)
+          let real = Consensus.Eig.algo ~f:1 ~value:(fun _ -> 0) in
+          Lockstep.algorithm ~f:1 ~xi:(q 5 2)
+            {
+              Lockstep.r_init =
+                (fun ~self ~nprocs ->
+                  let st, _ = real.Lockstep.r_init ~self ~nprocs in
+                  (st, [ ([], 0) ]));
+              r_step =
+                (fun ~self ~nprocs:_ ~round st _ ->
+                  (st, List.init round (fun i -> ([ (self + i) mod 4 ], i mod 2))));
+            }
+        in
+        let r = lockstep_consensus ~inputs ~faults ~byz:byz_algo () in
+        let decisions =
+          List.map
+            (fun p -> (p, Consensus.Eig.decision (Lockstep.round_state r.Sim.final_states.(p))))
+            [ 0; 1; 2 ]
+        in
+        Alcotest.(check bool) "all correct decided" true
+          (List.for_all (fun (_, d) -> d <> None) decisions);
+        agree "agreement + validity" decisions [ 1; 1; 1 ];
+        List.iter
+          (fun (_, d) -> Alcotest.(check (option int)) "decide 1" (Some 1) d)
+          decisions);
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100000)
+
+let property_tests =
+  [
+    prop "eig agreement across random inputs and byzantine strategies" 40 arb_seed
+      (fun seed ->
+        let inputs = Array.init 4 (fun p -> (seed lsr p) land 1) in
+        let behaviors =
+          [| Consensus.B_correct; Consensus.B_correct; Consensus.B_correct;
+             Consensus.B_byzantine
+               (fun ~round ~dst ->
+                 if (seed + round + dst) mod 3 = 0 then None
+                 else if round = 0 then Some [ ([], (seed lsr dst) land 1) ]
+                 else
+                   Some
+                     [ (List.init round (fun j -> (dst + j) mod 5), (seed lsr dst) land 1) ]);
+          |]
+        in
+        let d = sync_eig ~n:4 ~f:1 ~inputs ~behaviors in
+        Consensus.check_agreement d ~inputs:(correct_inputs inputs behaviors));
+    prop "queen agreement across random inputs, n=5" 40 arb_seed (fun seed ->
+        let inputs = Array.init 5 (fun p -> (seed lsr p) land 1) in
+        let behaviors =
+          [| Consensus.B_correct; Consensus.B_correct; Consensus.B_correct;
+             Consensus.B_correct;
+             Consensus.B_byzantine (fun ~round ~dst -> Some ((seed + round + dst) land 1));
+          |]
+        in
+        let d = sync_queen ~n:5 ~f:1 ~inputs ~behaviors in
+        Consensus.check_agreement d ~inputs:(correct_inputs inputs behaviors));
+    prop "eig over lock-step across seeds" 6 arb_seed (fun seed ->
+        let inputs = Array.init 4 (fun p -> (seed lsr p) land 1) in
+        let faults = Array.make 4 Sim.Correct in
+        let r = lockstep_consensus ~seed ~inputs ~faults () in
+        let decisions =
+          List.map
+            (fun p -> (p, Consensus.Eig.decision (Lockstep.round_state r.Sim.final_states.(p))))
+            [ 0; 1; 2; 3 ]
+        in
+        List.for_all (fun (_, d) -> d <> None) decisions
+        && Consensus.check_agreement decisions ~inputs:(Array.to_list inputs));
+  ]
+
+let base_suite = sync_tests @ lockstep_tests @ property_tests
+
+(* ------------------------------------------------------------------ *)
+(* Phase King (n > 3f, constant-size messages) *)
+
+let sync_king ~n ~f ~inputs ~behaviors =
+  let algo = Consensus.King.algo ~f ~value:(fun p -> inputs.(p)) in
+  let finals =
+    Consensus.run_synchronous ~nprocs:n ~behaviors ~algo ~nrounds:(3 * (f + 1))
+  in
+  List.map (fun (p, st) -> (p, Consensus.King.decision st)) finals
+
+let king_tests =
+  [
+    Alcotest.test_case "king: agreement fault-free, n=4" `Quick (fun () ->
+        let behaviors = Array.make 4 Consensus.B_correct in
+        let inputs = [| 1; 0; 1; 0 |] in
+        let d = sync_king ~n:4 ~f:1 ~inputs ~behaviors in
+        agree "agreement" d (correct_inputs inputs behaviors));
+    Alcotest.test_case "king: validity on unanimous inputs, n=4 f=1" `Quick (fun () ->
+        let behaviors = Array.make 4 Consensus.B_correct in
+        let inputs = [| 1; 1; 1; 1 |] in
+        let d = sync_king ~n:4 ~f:1 ~inputs ~behaviors in
+        List.iter (fun (_, dec) -> Alcotest.(check (option int)) "decide 1" (Some 1) dec) d);
+    Alcotest.test_case "king: byzantine king cannot break unanimity" `Quick (fun () ->
+        (* process 0 is the phase-1 king AND byzantine (two-faced);
+           persistence must protect the unanimous value 1 *)
+        let behaviors =
+          [| Consensus.B_byzantine two_faced_queen; Consensus.B_correct;
+             Consensus.B_correct; Consensus.B_correct |]
+        in
+        let inputs = [| 0; 1; 1; 1 |] in
+        let d = sync_king ~n:4 ~f:1 ~inputs ~behaviors in
+        agree "agreement" d (correct_inputs inputs behaviors);
+        List.iter (fun (_, dec) -> Alcotest.(check (option int)) "decide 1" (Some 1) dec) d);
+  ]
+
+let king_property_tests =
+  [
+    prop "king agreement across random inputs and byzantine positions" 60 arb_seed
+      (fun seed ->
+        let byz_pos = seed mod 4 in
+        let inputs = Array.init 4 (fun p -> (seed lsr p) land 1) in
+        let behaviors =
+          Array.init 4 (fun p ->
+              if p = byz_pos then
+                Consensus.B_byzantine
+                  (fun ~round ~dst ->
+                    if (seed + round + dst) mod 4 = 0 then None
+                    else Some ((seed lsr (round + dst)) land 1))
+              else Consensus.B_correct)
+        in
+        let d = sync_king ~n:4 ~f:1 ~inputs ~behaviors in
+        Consensus.check_agreement d ~inputs:(correct_inputs inputs behaviors));
+    prop "king agreement n=7 f=2 with two byzantine processes" 40 arb_seed (fun seed ->
+        let inputs = Array.init 7 (fun p -> (seed lsr p) land 1) in
+        let behaviors =
+          Array.init 7 (fun p ->
+              if p = seed mod 7 || p = (seed + 3) mod 7 then
+                Consensus.B_byzantine
+                  (fun ~round ~dst -> Some ((seed + round + dst) land 1))
+              else Consensus.B_correct)
+        in
+        let f = 2 in
+        let algo = Consensus.King.algo ~f ~value:(fun p -> inputs.(p)) in
+        let finals =
+          Consensus.run_synchronous ~nprocs:7 ~behaviors ~algo ~nrounds:(3 * (f + 1))
+        in
+        let d = List.map (fun (p, st) -> (p, Consensus.King.decision st)) finals in
+        Consensus.check_agreement d ~inputs:(correct_inputs inputs behaviors));
+  ]
+
+let suite = base_suite @ king_tests @ king_property_tests

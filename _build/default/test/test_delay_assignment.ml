@@ -1,0 +1,146 @@
+(* Tests for Theorem 7/12: normalized delay assignments via the fast
+   potential solver and the paper-faithful Fig. 6 LP, including Farkas
+   certificates (Theorem 10) on inadmissible graphs. *)
+
+open Core
+open Execgraph
+
+let xi a b = Rat.of_ints a b
+
+let unit_tests =
+  [
+    Alcotest.test_case "fig1 graph: fast solver finds delays in (1, Xi)" `Quick
+      (fun () ->
+        (* reuse the Fig. 1 construction (relevant cycle ratio 5/4) *)
+        let g = Test_execgraph.build_fig1 () in
+        (match Delay_assignment.solve_fast g ~xi:(xi 2 1) with
+        | None -> Alcotest.fail "should be solvable at Xi=2"
+        | Some a ->
+            Alcotest.(check bool) "verifies" true (Delay_assignment.verify g ~xi:(xi 2 1) a));
+        (* at Xi = 5/4 the graph is inadmissible: no assignment *)
+        Alcotest.(check bool) "unsolvable at Xi=5/4" true
+          (Delay_assignment.solve_fast g ~xi:(xi 5 4) = None));
+    Alcotest.test_case "fig1 graph: faithful LP agrees" `Quick (fun () ->
+        let g = Test_execgraph.build_fig1 () in
+        (match Delay_assignment.solve_faithful g ~xi:(xi 2 1) with
+        | Delay_assignment.Farkas _ -> Alcotest.fail "should be feasible at Xi=2"
+        | Delay_assignment.Assignment delays ->
+            Alcotest.(check bool) "verifies against paper conditions" true
+              (Delay_assignment.verify_faithful g ~xi:(xi 2 1) delays));
+        match Delay_assignment.solve_faithful g ~xi:(xi 5 4) with
+        | Delay_assignment.Assignment _ -> Alcotest.fail "should be infeasible at Xi=5/4"
+        | Delay_assignment.Farkas cert ->
+            let f6 = Delay_assignment.build_fig6 g ~xi:(xi 5 4) in
+            Alcotest.(check bool) "certificate checks" true
+              (Lp.check_certificate f6.Delay_assignment.system cert));
+    Alcotest.test_case "fig6 matrix shape" `Quick (fun () ->
+        let g = Test_execgraph.build_fig1 () in
+        let f6 = Delay_assignment.build_fig6 g ~xi:(xi 2 1) in
+        (* 9 messages, 1 relevant cycle, 0 non-relevant *)
+        Alcotest.(check int) "columns" 9 (Array.length f6.Delay_assignment.message_ids);
+        Alcotest.(check int) "relevant rows" 1 f6.Delay_assignment.n_relevant;
+        Alcotest.(check int) "non-relevant rows" 0 f6.Delay_assignment.n_nonrelevant;
+        match f6.Delay_assignment.system with
+        | { Lp.nvars; rows } ->
+            Alcotest.(check int) "nvars" 9 nvars;
+            Alcotest.(check int) "rows = 2k + l + m" (9 + 9 + 1) (List.length rows));
+    Alcotest.test_case "fig3 graph: both solvers reject at Xi=2, accept at 9/4" `Quick
+      (fun () ->
+        let g = Test_execgraph.build_fig ~reply_after_psi:true () in
+        Alcotest.(check bool) "fast rejects" true
+          (Delay_assignment.solve_fast g ~xi:(xi 2 1) = None);
+        (match Delay_assignment.solve_faithful g ~xi:(xi 2 1) with
+        | Delay_assignment.Assignment _ -> Alcotest.fail "faithful should reject"
+        | Delay_assignment.Farkas cert ->
+            let f6 = Delay_assignment.build_fig6 g ~xi:(xi 2 1) in
+            Alcotest.(check bool) "certificate" true
+              (Lp.check_certificate f6.Delay_assignment.system cert));
+        match
+          ( Delay_assignment.solve_fast g ~xi:(xi 9 4),
+            Delay_assignment.solve_faithful g ~xi:(xi 9 4) )
+        with
+        | Some a, Delay_assignment.Assignment d ->
+            Alcotest.(check bool) "fast verifies" true
+              (Delay_assignment.verify g ~xi:(xi 9 4) a);
+            Alcotest.(check bool) "faithful verifies" true
+              (Delay_assignment.verify_faithful g ~xi:(xi 9 4) d)
+        | _ -> Alcotest.fail "both should accept at Xi=9/4");
+    Alcotest.test_case "delays imply Theta-execution (Theorem 7 -> Theorem 9)" `Quick
+      (fun () ->
+        (* assignment delays lie in (1, Xi) so the delay ratio is < Xi:
+           the timed version satisfies the static Θ condition for Θ=Xi *)
+        let g = Test_execgraph.build_fig1 () in
+        match Delay_assignment.solve_fast g ~xi:(xi 2 1) with
+        | None -> Alcotest.fail "solvable"
+        | Some a ->
+            let ds = List.map snd a.Delay_assignment.delays in
+            let lo = List.fold_left Rat.min (List.hd ds) ds in
+            let hi = List.fold_left Rat.max (List.hd ds) ds in
+            Alcotest.(check bool) "ratio < Xi" true
+              Rat.O.(Rat.div hi lo < xi 2 1));
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1_000_000)
+
+let property_tests =
+  [
+    prop "fast solver solvable iff ABC-admissible (Theorem 12)" 100 arb_seed
+      (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:3 ~max_events:14 ~max_delay:3 ~fanout:2 in
+        List.for_all
+          (fun x ->
+            let solvable = Delay_assignment.solve_fast g ~xi:x <> None in
+            solvable = Abc_check.is_admissible g ~xi:x)
+          [ xi 5 4; xi 3 2; xi 2 1; xi 3 1 ]);
+    prop "fast and faithful solvers agree on feasibility" 60 arb_seed (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:3 ~max_events:11 ~max_delay:3 ~fanout:2 in
+        List.for_all
+          (fun x ->
+            let fast = Delay_assignment.solve_fast g ~xi:x <> None in
+            let faithful =
+              match Delay_assignment.solve_faithful g ~xi:x with
+              | Delay_assignment.Assignment _ -> true
+              | Delay_assignment.Farkas _ -> false
+            in
+            fast = faithful)
+          [ xi 3 2; xi 2 1 ]);
+    prop "solutions always verify; certificates always check" 60 arb_seed (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:3 ~max_events:11 ~max_delay:3 ~fanout:2 in
+        List.for_all
+          (fun x ->
+            (match Delay_assignment.solve_fast g ~xi:x with
+            | Some a -> Delay_assignment.verify g ~xi:x a
+            | None -> true)
+            &&
+            match Delay_assignment.solve_faithful g ~xi:x with
+            | Delay_assignment.Assignment d -> Delay_assignment.verify_faithful g ~xi:x d
+            | Delay_assignment.Farkas cert ->
+                let f6 = Delay_assignment.build_fig6 g ~xi:x in
+                Lp.check_certificate f6.Delay_assignment.system cert)
+          [ xi 3 2; xi 2 1 ]);
+    prop "assigned times preserve the event order at every process" 60 arb_seed
+      (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:3 ~max_events:12 ~max_delay:3 ~fanout:2 in
+        match Delay_assignment.solve_fast g ~xi:(xi 3 1) with
+        | None -> true
+        | Some a ->
+            List.for_all
+              (fun p ->
+                let evs = Graph.events_of_proc g p in
+                let rec increasing = function
+                  | a' :: (b :: _ as tl) ->
+                      Rat.compare a.Delay_assignment.times.(a') a.Delay_assignment.times.(b) < 0
+                      && increasing tl
+                  | _ -> true
+                in
+                increasing evs)
+              [ 0; 1; 2 ]);
+  ]
+
+let suite = unit_tests @ property_tests

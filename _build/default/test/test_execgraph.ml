@@ -1,0 +1,272 @@
+(* Tests for execution graphs: Definitions 1-6 of the paper, the
+   figure scenarios (Figs. 1, 3, 4), and cross-validation of the
+   polynomial ABC admissibility checker against the exhaustive
+   cycle-enumeration oracle. *)
+
+open Execgraph
+
+let xi a b = Rat.of_ints a b
+
+let is_admissible_enum g ~xi =
+  match Abc_check.check_enumerate g ~xi with
+  | Abc_check.Admissible -> true
+  | Abc_check.Violation _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: a relevant cycle where a slow chain C1 of 4 messages spans
+   a fast chain C2 of 5 messages; ratio |Z-|/|Z+| = 5/4. *)
+
+let build_fig1 () =
+  let g = Graph.create ~nprocs:9 in
+  (* q = 0, relays of C2 = 1..4, p = 5, relays of C1 = 6..8 *)
+  let phi0 = Graph.add_event g ~proc:0 in
+  let a1 = Graph.add_event g ~proc:1 in
+  let a2 = Graph.add_event g ~proc:2 in
+  let a3 = Graph.add_event g ~proc:3 in
+  let a4 = Graph.add_event g ~proc:4 in
+  let psi1 = Graph.add_event g ~proc:5 in
+  let b1 = Graph.add_event g ~proc:6 in
+  let b2 = Graph.add_event g ~proc:7 in
+  let b3 = Graph.add_event g ~proc:8 in
+  let psi2 = Graph.add_event g ~proc:5 in
+  (* C2: m1 .. m5 *)
+  ignore (Graph.add_message g ~src:phi0.Event.id ~dst:a1.Event.id);
+  ignore (Graph.add_message g ~src:a1.Event.id ~dst:a2.Event.id);
+  ignore (Graph.add_message g ~src:a2.Event.id ~dst:a3.Event.id);
+  ignore (Graph.add_message g ~src:a3.Event.id ~dst:a4.Event.id);
+  ignore (Graph.add_message g ~src:a4.Event.id ~dst:psi1.Event.id);
+  (* C1: m6 .. m9 *)
+  ignore (Graph.add_message g ~src:phi0.Event.id ~dst:b1.Event.id);
+  ignore (Graph.add_message g ~src:b1.Event.id ~dst:b2.Event.id);
+  ignore (Graph.add_message g ~src:b2.Event.id ~dst:b3.Event.id);
+  ignore (Graph.add_message g ~src:b3.Event.id ~dst:psi2.Event.id);
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3 and 4: process p = 0 ping-pongs twice with pfast = 1 while
+   a message to pslow = 2 is outstanding.  If the reply lands after the
+   second pong (event psi), it closes a relevant cycle with ratio 4/2
+   (Fig. 3); if it lands before psi, the big cycle is non-relevant
+   (Fig. 4). *)
+
+let build_fig ~reply_after_psi () =
+  let g = Graph.create ~nprocs:3 in
+  let phi0 = Graph.add_event g ~proc:0 in
+  let tau1 = Graph.add_event g ~proc:1 in
+  let phi1 = Graph.add_event g ~proc:0 in
+  let tau2 = Graph.add_event g ~proc:1 in
+  let sigma = Graph.add_event g ~proc:2 in
+  let mk_tail () =
+    if reply_after_psi then begin
+      let psi = Graph.add_event g ~proc:0 in
+      let phi'' = Graph.add_event g ~proc:0 in
+      (psi, phi'')
+    end
+    else begin
+      let phi = Graph.add_event g ~proc:0 in
+      let psi = Graph.add_event g ~proc:0 in
+      (psi, phi)
+    end
+  in
+  let psi, reply_target = mk_tail () in
+  ignore (Graph.add_message g ~src:phi0.Event.id ~dst:tau1.Event.id) (* ping1 *);
+  ignore (Graph.add_message g ~src:tau1.Event.id ~dst:phi1.Event.id) (* pong1 *);
+  ignore (Graph.add_message g ~src:phi1.Event.id ~dst:tau2.Event.id) (* ping2 *);
+  ignore (Graph.add_message g ~src:tau2.Event.id ~dst:psi.Event.id) (* pong2 *);
+  ignore (Graph.add_message g ~src:phi0.Event.id ~dst:sigma.Event.id) (* to pslow *);
+  ignore (Graph.add_message g ~src:sigma.Event.id ~dst:reply_target.Event.id) (* reply *);
+  g
+
+(* ------------------------------------------------------------------ *)
+
+let unit_tests =
+  [
+    Alcotest.test_case "builder: local edges and seq numbers" `Quick (fun () ->
+        let g = Graph.create ~nprocs:2 in
+        let e0 = Graph.add_event g ~proc:0 in
+        let e1 = Graph.add_event g ~proc:0 in
+        let e2 = Graph.add_event g ~proc:1 in
+        Alcotest.(check int) "seq 0" 0 e0.Event.seq;
+        Alcotest.(check int) "seq 1" 1 e1.Event.seq;
+        Alcotest.(check int) "seq of other proc" 0 e2.Event.seq;
+        Alcotest.(check int) "one local edge" 1 (Digraph.edge_count (Graph.digraph g));
+        Alcotest.(check int) "events" 3 (Graph.event_count g);
+        Alcotest.(check int) "no messages yet" 0 (Graph.message_count g));
+    Alcotest.test_case "causally_before across message" `Quick (fun () ->
+        let g = Graph.create ~nprocs:2 in
+        let a = Graph.add_event g ~proc:0 in
+        let b = Graph.add_event g ~proc:1 in
+        let c = Graph.add_event g ~proc:1 in
+        ignore (Graph.add_message g ~src:a.Event.id ~dst:b.Event.id);
+        Alcotest.(check bool) "a -> b" true (Graph.causally_before g a.Event.id b.Event.id);
+        Alcotest.(check bool) "a -> c via local" true
+          (Graph.causally_before g a.Event.id c.Event.id);
+        Alcotest.(check bool) "reflexive" true (Graph.causally_before g a.Event.id a.Event.id);
+        Alcotest.(check bool) "not backwards" false
+          (Graph.causally_before g c.Event.id a.Event.id));
+    Alcotest.test_case "fig1: single relevant cycle with ratio 5/4" `Quick (fun () ->
+        let g = build_fig1 () in
+        let cycles = Cycle.enumerate g in
+        Alcotest.(check int) "one cycle" 1 (List.length cycles);
+        let c = List.hd cycles in
+        Alcotest.(check bool) "relevant" true c.Cycle.relevant;
+        Alcotest.(check int) "|Z-|" 5 c.Cycle.backward_messages;
+        Alcotest.(check int) "|Z+|" 4 c.Cycle.forward_messages;
+        Alcotest.(check bool) "ratio" true (Rat.equal (Cycle.ratio c) (xi 5 4)));
+    Alcotest.test_case "fig1: admissible for Xi=2, violating for Xi=5/4" `Quick (fun () ->
+        let g = build_fig1 () in
+        Alcotest.(check bool) "Xi=2 poly" true (Abc_check.is_admissible g ~xi:(xi 2 1));
+        Alcotest.(check bool) "Xi=2 enum" true (is_admissible_enum g ~xi:(xi 2 1));
+        Alcotest.(check bool) "Xi=5/4 poly" false (Abc_check.is_admissible g ~xi:(xi 5 4));
+        Alcotest.(check bool) "Xi=5/4 enum" false (is_admissible_enum g ~xi:(xi 5 4));
+        Alcotest.(check bool) "Xi=4/3 poly" true (Abc_check.is_admissible g ~xi:(xi 4 3)));
+    Alcotest.test_case "fig3: late reply closes relevant cycle 4/2" `Quick (fun () ->
+        let g = build_fig ~reply_after_psi:true () in
+        (match Abc_check.check g ~xi:(xi 2 1) with
+        | Abc_check.Admissible -> Alcotest.fail "expected violation at Xi=2"
+        | Abc_check.Violation c ->
+            Alcotest.(check bool) "relevant" true c.Cycle.relevant;
+            Alcotest.(check bool) "ratio >= 2" true
+              (Rat.compare (Cycle.ratio c) (xi 2 1) >= 0));
+        Alcotest.(check bool) "enum agrees" false (is_admissible_enum g ~xi:(xi 2 1));
+        (* with a laxer Xi the same graph is fine *)
+        Alcotest.(check bool) "Xi=9/4 poly" true (Abc_check.is_admissible g ~xi:(xi 9 4));
+        Alcotest.(check bool) "Xi=9/4 enum" true (is_admissible_enum g ~xi:(xi 9 4)));
+    Alcotest.test_case "fig4: early reply yields only non-relevant big cycle" `Quick
+      (fun () ->
+        let g = build_fig ~reply_after_psi:false () in
+        Alcotest.(check bool) "Xi=2 poly" true (Abc_check.is_admissible g ~xi:(xi 2 1));
+        Alcotest.(check bool) "Xi=2 enum" true (is_admissible_enum g ~xi:(xi 2 1));
+        (* the 6-message cycle through psi exists but is non-relevant *)
+        let big =
+          List.filter (fun c -> List.length (Cycle.messages g c.Cycle.traversal) = 6)
+            (Cycle.enumerate g)
+        in
+        Alcotest.(check bool) "big cycle exists" true (big <> []);
+        List.iter
+          (fun c -> Alcotest.(check bool) "non-relevant" false c.Cycle.relevant)
+          big);
+    Alcotest.test_case "self-message parallel to local edge is non-relevant" `Quick
+      (fun () ->
+        let g = Graph.create ~nprocs:1 in
+        let a = Graph.add_event g ~proc:0 in
+        let b = Graph.add_event g ~proc:0 in
+        ignore (Graph.add_message g ~src:a.Event.id ~dst:b.Event.id);
+        let cycles = Cycle.enumerate g in
+        Alcotest.(check int) "one 2-cycle" 1 (List.length cycles);
+        Alcotest.(check bool) "non-relevant" false (List.hd cycles).Cycle.relevant;
+        (* and hence admissible for every Xi *)
+        Alcotest.(check bool) "admissible" true (Abc_check.is_admissible g ~xi:(xi 3 2)));
+    Alcotest.test_case "consistent cuts: closure and membership" `Quick (fun () ->
+        let g = build_fig1 () in
+        (* closure of psi2 (last event of p=5) must contain everything *)
+        let psi2 = List.nth (Graph.events_of_proc g 5) 1 in
+        let cl = Cut.closure_of_event g (Graph.event g psi2) in
+        let full = Cut.full g in
+        Alcotest.(check bool) "closure of sink = full cut" true
+          (Cut.frontier cl = Cut.frontier full);
+        Alcotest.(check bool) "consistent" true
+          (Cut.is_consistent g ~correct:[ 0; 1; 2; 3; 4; 5; 6; 7; 8 ] cl));
+    Alcotest.test_case "consistent cuts: non-closed cut detected" `Quick (fun () ->
+        let g = Graph.create ~nprocs:2 in
+        let a = Graph.add_event g ~proc:0 in
+        let b = Graph.add_event g ~proc:1 in
+        ignore (Graph.add_message g ~src:a.Event.id ~dst:b.Event.id);
+        (* cut containing b but not a is not left-closed *)
+        let c = Cut.empty ~nprocs:2 in
+        (Cut.frontier c).(1) <- 0;
+        Alcotest.(check bool) "not consistent" false (Cut.is_consistent g ~correct:[ 1 ] c);
+        let cl = Cut.left_closure g c in
+        Alcotest.(check int) "closure pulls in a" 0 (Cut.frontier cl).(0));
+    Alcotest.test_case "cut interval excludes the causal past" `Quick (fun () ->
+        let g = build_fig ~reply_after_psi:true () in
+        let p0_events = Graph.events_of_proc g 0 in
+        let phi0 = Graph.event g (List.nth p0_events 0) in
+        let psi = Graph.event g (List.nth p0_events 2) in
+        let interval = Cut.interval g ~from_event:phi0 ~to_event:psi in
+        Alcotest.(check bool) "phi0 not in interval" true
+          (not (List.exists (fun (e : Event.t) -> Event.equal e phi0) interval));
+        Alcotest.(check bool) "psi in interval" true
+          (List.exists (fun (e : Event.t) -> Event.equal e psi) interval));
+    Alcotest.test_case "execution graphs are DAGs" `Quick (fun () ->
+        let rng = Random.State.make [| 42 |] in
+        for _ = 1 to 20 do
+          let g = Util.random_execution rng ~nprocs:3 ~max_events:30 ~max_delay:4 ~fanout:2 in
+          Alcotest.(check bool) "dag" true (Graph.is_dag g)
+        done);
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1_000_000)
+
+let property_tests =
+  [
+    prop "poly checker agrees with enumeration oracle" 150 arb_seed (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:3 ~max_events:14 ~max_delay:3 ~fanout:2 in
+        List.for_all
+          (fun x ->
+            let poly = Abc_check.is_admissible g ~xi:x in
+            let enum = is_admissible_enum g ~xi:x in
+            poly = enum)
+          [ xi 5 4; xi 3 2; xi 2 1; xi 3 1; xi 7 2 ]);
+    prop "violation witness really violates" 150 arb_seed (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:4 ~max_events:18 ~max_delay:5 ~fanout:2 in
+        List.for_all
+          (fun x ->
+            match Abc_check.check g ~xi:x with
+            | Abc_check.Admissible -> true
+            | Abc_check.Violation c ->
+                c.Cycle.relevant && Rat.compare (Cycle.ratio c) x >= 0)
+          [ xi 5 4; xi 2 1 ]);
+    prop "admissibility is monotone in Xi" 100 arb_seed (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:3 ~max_events:16 ~max_delay:4 ~fanout:2 in
+        let xs = [ xi 5 4; xi 3 2; xi 2 1; xi 3 1; xi 5 1 ] in
+        let verdicts = List.map (fun x -> Abc_check.is_admissible g ~xi:x) xs in
+        (* once admissible at some Xi, admissible at every larger Xi *)
+        let rec mono = function
+          | a :: (b :: _ as tl) -> ((not a) || b) && mono tl
+          | _ -> true
+        in
+        mono verdicts);
+    prop "left closures are consistent cuts" 100 arb_seed (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:3 ~max_events:20 ~max_delay:4 ~fanout:2 in
+        let correct =
+          List.filter (fun p -> Graph.events_of_proc g p <> []) [ 0; 1; 2 ]
+        in
+        (* the full cut is the left closure of all sinks *)
+        let full = Cut.full g in
+        Cut.is_consistent g ~correct full
+        &&
+        let ids = List.init (Graph.event_count g) Fun.id in
+        List.for_all
+          (fun id ->
+            let cl = Cut.closure_of_event g (Graph.event g id) in
+            Cut.frontier (Cut.left_closure g cl) = Cut.frontier cl)
+          ids);
+    prop "causal past = membership in closure" 60 arb_seed (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:3 ~max_events:15 ~max_delay:3 ~fanout:2 in
+        let n = Graph.event_count g in
+        let ok = ref true in
+        for id = 0 to n - 1 do
+          let mask = Graph.causal_past g id in
+          let cl = Cut.closure_of_event g (Graph.event g id) in
+          for j = 0 to n - 1 do
+            let in_past = mask.(j) in
+            let ev = Graph.event g j in
+            (* membership in the closure over-approximates the causal
+               past only for events of the same process below the
+               frontier -- which are exactly the causal past too, via
+               local edges.  So the two notions coincide. *)
+            if in_past <> Cut.mem cl ev then ok := false
+          done
+        done;
+        !ok);
+  ]
+
+let suite = unit_tests @ property_tests

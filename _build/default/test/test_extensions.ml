@@ -1,0 +1,215 @@
+(* Tests for the extension modules: Ω leader election, eventual
+   lock-step with doubling rounds (Section 6), the parametric scenario
+   builders, and the MMR query-round workload. *)
+
+open Core
+
+let q = Rat.of_ints
+let xi = Rat.of_ints
+
+(* ------------------------------------------------------------------ *)
+(* Ω *)
+
+let run_omega ?(seed = 13) ?(nprocs = 4) ?(f = 1) ?(xi = q 5 2) ~faults ~max_events () =
+  let rng = Random.State.make [| seed |] in
+  let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) () in
+  let cfg =
+    Sim.make_config ~nprocs ~algorithm:(Omega.algorithm ~f ~xi) ~faults ~scheduler
+      ~max_events ()
+  in
+  Sim.run cfg
+
+let omega_tests =
+  [
+    Alcotest.test_case "fault-free: leader is process 0 everywhere" `Quick (fun () ->
+        let faults = Array.make 4 Sim.Correct in
+        let r = run_omega ~faults ~max_events:400 () in
+        let leaders, expected, agree = Omega.converged r ~correct:[ 0; 1; 2; 3 ] in
+        Alcotest.(check int) "expected leader" 0 expected;
+        Alcotest.(check bool) "agreement" true agree;
+        Alcotest.(check int) "four leaders" 4 (List.length leaders));
+    Alcotest.test_case "crash of process 0: leadership moves to 1" `Quick (fun () ->
+        let faults = [| Sim.Crash 2; Sim.Correct; Sim.Correct; Sim.Correct |] in
+        let r = run_omega ~faults ~max_events:500 () in
+        let _, expected, agree = Omega.converged r ~correct:[ 1; 2; 3 ] in
+        Alcotest.(check int) "leader 1" 1 expected;
+        Alcotest.(check bool) "agreement" true agree);
+    Alcotest.test_case "accuracy: no correct process ever suspected" `Quick (fun () ->
+        let faults = [| Sim.Crash 5; Sim.Correct; Sim.Correct; Sim.Correct |] in
+        let r = run_omega ~faults ~max_events:500 () in
+        Alcotest.(check bool) "no false suspicions" true
+          (Omega.no_false_suspicions r ~correct:[ 1; 2; 3 ]));
+    Alcotest.test_case "completeness: the crashed process is suspected" `Quick (fun () ->
+        let faults = [| Sim.Crash 2; Sim.Correct; Sim.Correct; Sim.Correct |] in
+        let r = run_omega ~faults ~max_events:500 () in
+        List.iter
+          (fun p ->
+            Alcotest.(check bool)
+              (Printf.sprintf "p%d suspects 0" p)
+              true
+              (List.mem 0 (Omega.suspects r.Sim.final_states.(p))))
+          [ 1; 2; 3 ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Eventual lock-step (doubling rounds) *)
+
+let eventual_tests =
+  [
+    Alcotest.test_case "doubling schedule arithmetic" `Quick (fun () ->
+        let s = Lockstep.doubling_schedule 3 in
+        Alcotest.(check int) "start 0" 0 (s.Lockstep.start_of_round 0);
+        Alcotest.(check int) "start 1" 3 (s.Lockstep.start_of_round 1);
+        Alcotest.(check int) "start 2" 9 (s.Lockstep.start_of_round 2);
+        Alcotest.(check int) "start 3" 21 (s.Lockstep.start_of_round 3);
+        Alcotest.(check (option int)) "round at 9" (Some 2) (s.Lockstep.round_at 9);
+        Alcotest.(check (option int)) "round at 10" None (s.Lockstep.round_at 10));
+    Alcotest.test_case "uniform schedule matches the paper's Algorithm 2" `Quick
+      (fun () ->
+        let s = Lockstep.uniform_schedule 5 in
+        Alcotest.(check int) "start 4" 20 (s.Lockstep.start_of_round 4);
+        Alcotest.(check (option int)) "round at 15" (Some 3) (s.Lockstep.round_at 15));
+    Alcotest.test_case "eventual lock-step under a ◇ABC scheduler" `Quick (fun () ->
+        (* chaos until t = 30, Θ(1,2) afterwards; doubling rounds must
+           eventually hold lock-step *)
+        let rng = Random.State.make [| 5 |] in
+        let scheduler =
+          Sim.eventually_theta_scheduler ~rng ~gst:(q 30 1) ~chaos_max:(q 25 1)
+            ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) ()
+        in
+        let algo =
+          Lockstep.algorithm_scheduled ~f:1 ~schedule:(Lockstep.doubling_schedule 2)
+            Lockstep.noop_round_algo
+        in
+        let cfg =
+          Sim.make_config ~nprocs:4 ~algorithm:algo ~faults:(Array.make 4 Sim.Correct)
+            ~scheduler ~max_events:2500 ()
+        in
+        let r = Sim.run cfg in
+        let correct = [ 0; 1; 2; 3 ] in
+        let rounds = Lockstep.rounds_reached r ~correct in
+        Alcotest.(check bool) "several rounds happened" true
+          (List.for_all (fun (_, x) -> x >= 4) rounds);
+        let first_ok = Lockstep.first_lockstep_round r ~correct in
+        let max_round = List.fold_left (fun acc (_, x) -> max acc x) 0 rounds in
+        Alcotest.(check bool)
+          (Printf.sprintf "lock-step from round %d on (max %d)" first_ok max_round)
+          true
+          (first_ok <= max_round));
+    Alcotest.test_case "perpetual Θ + doubling rounds: lock-step from round 0" `Quick
+      (fun () ->
+        let rng = Random.State.make [| 6 |] in
+        let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) () in
+        let algo =
+          Lockstep.algorithm_scheduled ~f:1 ~schedule:(Lockstep.doubling_schedule 5)
+            Lockstep.noop_round_algo
+        in
+        let cfg =
+          Sim.make_config ~nprocs:4 ~algorithm:algo ~faults:(Array.make 4 Sim.Correct)
+            ~scheduler ~max_events:1500 ()
+        in
+        let r = Sim.run cfg in
+        Alcotest.(check int) "no violating rounds" 0
+          (Lockstep.first_lockstep_round r ~correct:[ 0; 1; 2; 3 ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Scenario builders *)
+
+open Execgraph
+
+let scenario_tests =
+  [
+    Alcotest.test_case "spanning_cycle generalizes fig 1" `Quick (fun () ->
+        List.iter
+          (fun (k1, k2) ->
+            let g = Scenarios.spanning_cycle ~k1 ~k2 () in
+            match Core.Abc.max_relevant_ratio g with
+            | None ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "k1=%d k2=%d: ratio <= 1" k1 k2)
+                  true (k2 <= k1)
+            | Some r ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "k1=%d k2=%d: ratio %s" k1 k2 (Rat.to_string r))
+                  true
+                  (Rat.equal r (Rat.of_ints k2 k1)))
+          [ (4, 5); (2, 7); (1, 3); (3, 3); (5, 2) ]);
+    Alcotest.test_case "timeout chain sweeps the fig 3 ratio" `Quick (fun () ->
+        (* ratio chain/2: admissible just above it, violating at it
+           (chain = 2 has ratio 1 and is admissible for every Xi > 1) *)
+        let g2 = Scenarios.timeout ~chain:2 () in
+        Alcotest.(check bool) "chain 2 admissible at 11/10" true
+          (Abc_check.is_admissible g2 ~xi:(xi 11 10));
+        List.iter
+          (fun chain ->
+            let g = Scenarios.timeout ~chain () in
+            Alcotest.(check bool)
+              (Printf.sprintf "chain %d" chain)
+              true
+              (Abc_check.is_admissible g ~xi:(xi (chain + 1) 2)
+              && not (Abc_check.is_admissible g ~xi:(xi chain 2))))
+          [ 4; 6; 10 ]);
+    Alcotest.test_case "timeout_early is admissible for tight Xi" `Quick (fun () ->
+        let g = Scenarios.timeout_early ~chain:4 () in
+        Alcotest.(check bool) "admissible at 2" true (Abc_check.is_admissible g ~xi:(xi 2 1)));
+    Alcotest.test_case "max_reply_deferral = largest even chain < 2Xi" `Quick (fun () ->
+        Alcotest.(check int) "Xi=2 -> 2" 2 (Scenarios.max_reply_deferral ~xi:(xi 2 1));
+        Alcotest.(check int) "Xi=5/2 -> 4" 4 (Scenarios.max_reply_deferral ~xi:(xi 5 2));
+        Alcotest.(check int) "Xi=3 -> 4" 4 (Scenarios.max_reply_deferral ~xi:(xi 3 1));
+        Alcotest.(check int) "Xi=4 -> 6" 6 (Scenarios.max_reply_deferral ~xi:(xi 4 1)));
+    Alcotest.test_case "isolated_slow admissible for every Xi" `Quick (fun () ->
+        let g = Scenarios.isolated_slow ~exchanges:12 () in
+        List.iter
+          (fun x ->
+            Alcotest.(check bool) (Rat.to_string x) true (Abc_check.is_admissible g ~xi:x))
+          [ xi 21 20; xi 3 2; xi 5 1 ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* MMR workload *)
+
+let mmr_tests =
+  [
+    Alcotest.test_case "query rounds complete and are well-formed" `Quick (fun () ->
+        let rng = Random.State.make [| 31 |] in
+        let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 1 1) ~tau_plus:(q 3 2) () in
+        let cfg =
+          Sim.make_config ~nprocs:4
+            ~algorithm:(Related_models.Query_rounds.algorithm ~rounds:5)
+            ~faults:(Array.make 4 Sim.Correct) ~scheduler ~max_events:600 ()
+        in
+        let r = Sim.run cfg in
+        let rounds = Related_models.Query_rounds.rounds r.Sim.final_states.(0) in
+        Alcotest.(check int) "five rounds" 5 (List.length rounds);
+        List.iter
+          (fun order ->
+            Alcotest.(check int) "everyone responded" 4 (List.length order);
+            Alcotest.(check (list int)) "a permutation" [ 0; 1; 2; 3 ]
+              (List.sort compare order))
+          rounds;
+        (* with f = 0 the quorum is everyone: MMR trivially holds *)
+        Alcotest.(check bool) "mmr holds at f=0" true
+          (Related_models.mmr_holds ~n:4 ~f:0 rounds));
+    Alcotest.test_case "wide async delays usually break MMR at f=2, n=4" `Quick
+      (fun () ->
+        (* statistical: count how often MMR holds across seeds; wide
+           spreads should break it at least once *)
+        let holds = ref 0 and total = 12 in
+        for seed = 1 to total do
+          let rng = Random.State.make [| seed |] in
+          let scheduler = Sim.async_scheduler ~rng ~max_delay:(q 40 1) () in
+          let cfg =
+            Sim.make_config ~nprocs:4
+              ~algorithm:(Related_models.Query_rounds.algorithm ~rounds:6)
+              ~faults:(Array.make 4 Sim.Correct) ~scheduler ~max_events:800 ()
+          in
+          let r = Sim.run cfg in
+          let rounds = Related_models.Query_rounds.rounds r.Sim.final_states.(0) in
+          if List.length rounds >= 4 && Related_models.mmr_holds ~n:4 ~f:2 rounds then
+            incr holds
+        done;
+        Alcotest.(check bool) "not always" true (!holds < total));
+  ]
+
+let suite = omega_tests @ eventual_tests @ scenario_tests @ mmr_tests

@@ -1,0 +1,82 @@
+(* Tests for the Fig. 3 Ξ-timeout failure detector: completeness
+   (crashed processes get suspected) and accuracy (no false suspicions
+   under schedulers whose executions are ABC-admissible for Ξ). *)
+
+open Core
+
+let q = Rat.of_ints
+
+let run_fd ?(seed = 3) ?(nprocs = 4) ?(xi = q 2 1) ?(rounds = 3) ?(max_events = 400)
+    ~faults () =
+  let rng = Random.State.make [| seed |] in
+  (* Θ ratio 3/2 < Xi = 2: replies always beat the timeout chain *)
+  let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 2 1) ~tau_plus:(q 3 1) () in
+  let cfg =
+    Sim.make_config ~nprocs
+      ~algorithm:(Failure_detector.algorithm ~xi ~rounds)
+      ~faults ~scheduler ~max_events ()
+  in
+  Sim.run cfg
+
+let unit_tests =
+  [
+    Alcotest.test_case "no suspicions when everyone is correct" `Quick (fun () ->
+        let result = run_fd ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct |] () in
+        let false_susp, missed = Failure_detector.accuracy result ~crashed:[] in
+        Alcotest.(check (list int)) "no false suspicions" [] false_susp;
+        Alcotest.(check (list int)) "nothing missed" [] missed;
+        Alcotest.(check bool) "queries completed" true
+          (Failure_detector.queries_done result.Sim.final_states.(0) >= 1));
+    Alcotest.test_case "crashed process is suspected" `Quick (fun () ->
+        (* p3 crashes immediately after waking (1 step: it never replies) *)
+        let result =
+          run_fd ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 1 |] ()
+        in
+        let false_susp, missed = Failure_detector.accuracy result ~crashed:[ 3 ] in
+        Alcotest.(check (list int)) "no false suspicions" [] false_susp;
+        Alcotest.(check (list int)) "crash detected" [] missed);
+    Alcotest.test_case "multiple crashes, n=6" `Quick (fun () ->
+        let faults =
+          [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 1; Sim.Correct; Sim.Crash 1 |]
+        in
+        let result = run_fd ~nprocs:6 ~max_events:600 ~faults () in
+        let false_susp, missed = Failure_detector.accuracy result ~crashed:[ 3; 5 ] in
+        Alcotest.(check (list int)) "no false suspicions" [] false_susp;
+        Alcotest.(check (list int)) "all crashes detected" [] missed);
+    Alcotest.test_case "the run with a late responder stays admissible" `Quick (fun () ->
+        (* all correct: the recorded execution must be ABC-admissible
+           for Xi (the detector relies on exactly this) *)
+        let result = run_fd ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct |] () in
+        Alcotest.(check bool) "admissible" true
+          (Execgraph.Abc_check.is_admissible result.Sim.graph ~xi:(q 2 1)));
+    Alcotest.test_case "higher Xi means longer chains before verdict" `Quick (fun () ->
+        (* chain length is ceil(2 Xi): count partner messages *)
+        let count_events xi =
+          let result =
+            run_fd ~xi ~rounds:1 ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 1 |] ()
+          in
+          result.Sim.delivered
+        in
+        Alcotest.(check bool) "Xi=4 run has more deliveries than Xi=2 run" true
+          (count_events (q 4 1) > count_events (q 2 1)));
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100000)
+
+let property_tests =
+  [
+    prop "completeness and accuracy across seeds" 20 arb_seed (fun seed ->
+        let crash3 = seed mod 2 = 0 in
+        let faults =
+          if crash3 then [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 1 |]
+          else [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct |]
+        in
+        let result = run_fd ~seed ~faults () in
+        let crashed = if crash3 then [ 3 ] else [] in
+        let false_susp, missed = Failure_detector.accuracy result ~crashed in
+        false_susp = [] && missed = []);
+  ]
+
+let suite = unit_tests @ property_tests

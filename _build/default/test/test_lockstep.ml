@@ -1,0 +1,146 @@
+(* Tests for Algorithm 2 (lock-step round simulation): Theorem 5 under
+   Θ schedulers with crash and Byzantine faults. *)
+
+open Core
+
+let q = Rat.of_ints
+
+let run_lockstep ?(seed = 11) ?(nprocs = 4) ?(f = 1) ?(xi = q 5 2) ?(max_events = 600)
+    ?(faults = None) ?(byz = None) algo =
+  let rng = Random.State.make [| seed |] in
+  let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) () in
+  let faults = match faults with Some fs -> fs | None -> Array.make nprocs Sim.Correct in
+  let cfg =
+    Sim.make_config ?byzantine:byz ~nprocs
+      ~algorithm:(Lockstep.algorithm ~f ~xi algo)
+      ~faults ~scheduler ~max_events ()
+  in
+  (Sim.run cfg, xi)
+
+let correct_of faults =
+  List.filter (fun p -> faults.(p) = Sim.Correct) (List.init (Array.length faults) Fun.id)
+
+(* a byzantine lockstep participant: correct clock-sync behaviour but
+   garbage round payloads (value lies) *)
+let lying_round_algo : (int, int) Lockstep.round_algo =
+  {
+    r_init = (fun ~self ~nprocs:_ -> (0, 1000 + self));
+    r_step = (fun ~self ~nprocs:_ ~round n _ -> (n, (1000 * round) + self));
+  }
+
+let counting_round_algo : (int, int) Lockstep.round_algo =
+  {
+    r_init = (fun ~self:_ ~nprocs:_ -> (0, 0));
+    r_step = (fun ~self:_ ~nprocs:_ ~round n _ -> (n + 1, round));
+  }
+
+let unit_tests =
+  [
+    Alcotest.test_case "thm5: rounds advance and stay lock-step (fault-free)" `Quick
+      (fun () ->
+        let result, _ = run_lockstep Lockstep.noop_round_algo in
+        let correct = [ 0; 1; 2; 3 ] in
+        let rounds = Lockstep.rounds_reached result ~correct in
+        List.iter
+          (fun (p, r) ->
+            Alcotest.(check bool) (Printf.sprintf "p%d reached rounds" p) true (r >= 2))
+          rounds;
+        let checked, violations = Lockstep.lockstep_violations result ~correct in
+        Alcotest.(check bool) "nontrivial" true (checked > 0);
+        Alcotest.(check int) "no violations" 0 (List.length violations));
+    Alcotest.test_case "thm5: lock-step with a crash fault" `Quick (fun () ->
+        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 15 |] in
+        let result, _ = run_lockstep ~faults:(Some faults) Lockstep.noop_round_algo in
+        let correct = correct_of faults in
+        let checked, violations = Lockstep.lockstep_violations result ~correct in
+        Alcotest.(check bool) "nontrivial" true (checked > 0);
+        Alcotest.(check int) "no violations" 0 (List.length violations));
+    Alcotest.test_case "thm5: lock-step with a byzantine liar" `Quick (fun () ->
+        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |] in
+        let byz = Lockstep.algorithm ~f:1 ~xi:(q 5 2) lying_round_algo in
+        let result, _ =
+          run_lockstep ~faults:(Some faults) ~byz:(Some byz) counting_round_algo
+        in
+        let correct = correct_of faults in
+        let checked, violations = Lockstep.lockstep_violations result ~correct in
+        Alcotest.(check bool) "nontrivial" true (checked > 0);
+        Alcotest.(check int) "no violations" 0 (List.length violations);
+        (* correct processes performed one round step per round *)
+        List.iter
+          (fun p ->
+            let st = result.Sim.final_states.(p) in
+            Alcotest.(check int)
+              (Printf.sprintf "p%d steps = rounds" p)
+              (Lockstep.round_of st)
+              (Lockstep.round_state st))
+          correct);
+    Alcotest.test_case "phase length is ceil(2Xi)" `Quick (fun () ->
+        Alcotest.(check int) "2Xi=5" 5 (Lockstep.phase_length ~xi:(q 5 2));
+        Alcotest.(check int) "2Xi=4" 4 (Lockstep.phase_length ~xi:(q 2 1));
+        Alcotest.(check int) "2Xi=3" 3 (Lockstep.phase_length ~xi:(q 3 2)));
+    Alcotest.test_case "round messages reach everyone within the window" `Quick (fun () ->
+        (* each correct process's history shows a full quorum of
+           senders for every started round in the fault-free case *)
+        let result, _ = run_lockstep ~max_events:800 counting_round_algo in
+        List.iter
+          (fun p ->
+            let st = result.Sim.final_states.(p) in
+            List.iter
+              (fun (rho, senders) ->
+                if rho >= 1 then
+                  Alcotest.(check int)
+                    (Printf.sprintf "p%d round %d sees all" p rho)
+                    4
+                    (Lockstep.Iset.cardinal senders))
+              st.Lockstep.history)
+          [ 0; 1; 2; 3 ]);
+  ]
+
+let macro_tests =
+  [
+    Alcotest.test_case "macro clocks: rounds of correct processes differ by <= 1" `Quick
+      (fun () ->
+        (* the paper's optimal-precision "macro clock" remark: rounds
+           are clocks divided by P = ceil(2Xi), and Theorem 2's 2Xi
+           bound on micro clocks collapses to precision 1 on rounds *)
+        List.iter
+          (fun seed ->
+            let result, _ = run_lockstep ~seed ~max_events:500 Lockstep.noop_round_algo in
+            let rounds = List.map snd (Lockstep.rounds_reached result ~correct:[ 0; 1; 2; 3 ]) in
+            let spread =
+              List.fold_left max min_int rounds - List.fold_left min max_int rounds
+            in
+            Alcotest.(check bool) (Printf.sprintf "seed %d spread <= 1" seed) true (spread <= 1))
+          [ 1; 2; 3; 4; 5 ]);
+    Alcotest.test_case "uniform lock-step: crashed process's pre-crash rounds comply" `Quick
+      (fun () ->
+        (* remark after Theorem 5: lock-step is uniform for crash
+           faults — rounds started before the crash also satisfy the
+           property, so including the crashed process in the check
+           still yields zero violations *)
+        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 40 |] in
+        let result, _ = run_lockstep ~faults:(Some faults) ~max_events:600 Lockstep.noop_round_algo in
+        let checked, violations = Lockstep.lockstep_violations result ~correct:[ 0; 1; 2; 3 ] in
+        Alcotest.(check bool) "nontrivial" true (checked > 0);
+        Alcotest.(check int) "no violations" 0 (List.length violations));
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100000)
+
+let property_tests =
+  [
+    prop "thm5 across seeds and fault mixes" 10 arb_seed (fun seed ->
+        let faults =
+          if seed mod 2 = 0 then [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct |]
+          else [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash (seed mod 20) |]
+        in
+        let result, _ =
+          run_lockstep ~seed ~faults:(Some faults) ~max_events:500 Lockstep.noop_round_algo
+        in
+        let correct = correct_of faults in
+        snd (Lockstep.lockstep_violations result ~correct) = []);
+  ]
+
+let suite = unit_tests @ macro_tests @ property_tests

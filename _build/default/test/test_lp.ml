@@ -1,0 +1,152 @@
+(* Tests for the Fourier-Motzkin solver: feasibility, solutions,
+   strictness handling, and Farkas certificates (Theorem 10). *)
+
+let q = Rat.of_ints
+let qa l = Array.of_list (List.map (fun (a, b) -> q a b) l)
+
+let row coeffs rel rhs = (qa coeffs, rel, rhs)
+
+let both_solvers = [ ("fm", Lp.solve); ("simplex", Simplex.solve) ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "single variable interval" `Quick (fun () ->
+        (* 1 < x < 2 *)
+        let sys =
+          Lp.make_system ~nvars:1
+            [ row [ (-1, 1) ] Lp.Lt (q (-1) 1); row [ (1, 1) ] Lp.Lt (q 2 1) ]
+        in
+        List.iter
+          (fun (name, solve) ->
+            match solve sys with
+            | Lp.Infeasible _ -> Alcotest.failf "%s: should be feasible" name
+            | Lp.Feasible x ->
+                Alcotest.(check bool) (name ^ " checks") true (Lp.check_solution sys x);
+                Alcotest.(check bool) (name ^ " strictly inside") true
+                  Rat.O.(x.(0) > Rat.one && x.(0) < Rat.two))
+          both_solvers);
+    Alcotest.test_case "empty strict interval is infeasible" `Quick (fun () ->
+        (* x < 1 and x > 1 *)
+        let sys =
+          Lp.make_system ~nvars:1
+            [ row [ (1, 1) ] Lp.Lt (q 1 1); row [ (-1, 1) ] Lp.Lt (q (-1) 1) ]
+        in
+        List.iter
+          (fun (name, solve) ->
+            match solve sys with
+            | Lp.Feasible _ -> Alcotest.failf "%s: should be infeasible" name
+            | Lp.Infeasible cert ->
+                Alcotest.(check bool) (name ^ " certificate valid") true
+                  (Lp.check_certificate sys cert))
+          both_solvers);
+    Alcotest.test_case "point solution with non-strict bounds" `Quick (fun () ->
+        (* x <= 1 and x >= 1 forces x = 1 *)
+        let sys =
+          Lp.make_system ~nvars:1
+            [ row [ (1, 1) ] Lp.Le (q 1 1); row [ (-1, 1) ] Lp.Le (q (-1) 1) ]
+        in
+        match Lp.solve sys with
+        | Lp.Infeasible _ -> Alcotest.fail "should be feasible"
+        | Lp.Feasible x -> Alcotest.(check bool) "x=1" true (Rat.equal x.(0) Rat.one));
+    Alcotest.test_case "two variables, coupled" `Quick (fun () ->
+        (* x + y < 4, x - y < 0, -x < -1  =>  e.g. x = 3/2, y > 3/2 *)
+        let sys =
+          Lp.make_system ~nvars:2
+            [
+              row [ (1, 1); (1, 1) ] Lp.Lt (q 4 1);
+              row [ (1, 1); (-1, 1) ] Lp.Lt (q 0 1);
+              row [ (-1, 1); (0, 1) ] Lp.Lt (q (-1) 1);
+            ]
+        in
+        match Lp.solve sys with
+        | Lp.Infeasible _ -> Alcotest.fail "should be feasible"
+        | Lp.Feasible x -> Alcotest.(check bool) "checks" true (Lp.check_solution sys x));
+    Alcotest.test_case "infeasible triangle with certificate" `Quick (fun () ->
+        (* x - y <= -1, y - z <= -1, z - x <= -1 sums to 0 <= -3 *)
+        let sys =
+          Lp.make_system ~nvars:3
+            [
+              row [ (1, 1); (-1, 1); (0, 1) ] Lp.Le (q (-1) 1);
+              row [ (0, 1); (1, 1); (-1, 1) ] Lp.Le (q (-1) 1);
+              row [ (-1, 1); (0, 1); (1, 1) ] Lp.Le (q (-1) 1);
+            ]
+        in
+        match Lp.solve sys with
+        | Lp.Feasible _ -> Alcotest.fail "should be infeasible"
+        | Lp.Infeasible cert ->
+            Alcotest.(check bool) "certificate valid" true (Lp.check_certificate sys cert);
+            Alcotest.(check bool) "ytb negative" true (Rat.sign cert.Lp.y_b < 0));
+    Alcotest.test_case "strict zero-sum infeasibility" `Quick (fun () ->
+        (* x - y < 0 and y - x <= 0: adding gives 0 < 0 *)
+        let sys =
+          Lp.make_system ~nvars:2
+            [
+              row [ (1, 1); (-1, 1) ] Lp.Lt (q 0 1);
+              row [ (-1, 1); (1, 1) ] Lp.Le (q 0 1);
+            ]
+        in
+        match Lp.solve sys with
+        | Lp.Feasible _ -> Alcotest.fail "should be infeasible"
+        | Lp.Infeasible cert ->
+            Alcotest.(check bool) "certificate valid" true (Lp.check_certificate sys cert);
+            Alcotest.(check bool) "strict involved" true cert.Lp.strict_involved);
+    Alcotest.test_case "unbounded directions still feasible" `Quick (fun () ->
+        let sys = Lp.make_system ~nvars:3 [ row [ (1, 1); (0, 1); (0, 1) ] Lp.Lt (q 5 1) ] in
+        match Lp.solve sys with
+        | Lp.Infeasible _ -> Alcotest.fail "should be feasible"
+        | Lp.Feasible x -> Alcotest.(check bool) "checks" true (Lp.check_solution sys x));
+  ]
+
+(* Random systems: compare the solver's verdict against its own
+   evidence (solution check / certificate check), which must always
+   hold; and against a rational "ball" sampling for small systems. *)
+let gen_system =
+  let open QCheck.Gen in
+  int_range 1 4 >>= fun nvars ->
+  int_range 1 8 >>= fun nrows ->
+  let gen_row =
+    list_repeat nvars (int_range (-3) 3) >>= fun coeffs ->
+    int_range (-6) 6 >>= fun rhs ->
+    bool >>= fun strict ->
+    return
+      ( Array.of_list (List.map (fun c -> q c 1) coeffs),
+        (if strict then Lp.Lt else Lp.Le),
+        q rhs 1 )
+  in
+  list_repeat nrows gen_row >>= fun rows -> return (Lp.make_system ~nvars rows)
+
+let arb_system =
+  QCheck.make
+    ~print:(fun _sys -> "<system>")
+    gen_system
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let property_tests =
+  [
+    prop "FM verdicts come with valid evidence" 300 arb_system (fun sys ->
+        match Lp.solve sys with
+        | Lp.Feasible x -> Lp.check_solution sys x
+        | Lp.Infeasible cert -> Lp.check_certificate sys cert);
+    prop "simplex verdicts come with valid evidence" 300 arb_system (fun sys ->
+        match Simplex.solve sys with
+        | Lp.Feasible x -> Lp.check_solution sys x
+        | Lp.Infeasible cert -> Lp.check_certificate sys cert);
+    prop "simplex and FM agree on feasibility" 300 arb_system (fun sys ->
+        let v = function Lp.Feasible _ -> true | Lp.Infeasible _ -> false in
+        v (Simplex.solve sys) = v (Lp.solve sys));
+    prop "scaling rows preserves the verdict" 150 arb_system (fun sys ->
+        (* multiply each row by 2: geometrically identical *)
+        let scaled =
+          match sys with
+          | { Lp.nvars; rows } ->
+              Lp.make_system ~nvars
+                (List.map
+                   (fun (c, r, b) -> (Array.map (Rat.mul Rat.two) c, r, Rat.mul Rat.two b))
+                   rows)
+        in
+        let verdict s = match Lp.solve s with Lp.Feasible _ -> true | _ -> false in
+        verdict sys = verdict scaled);
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "abc-repro"
+    [
+      ("bigint", Test_bigint.suite);
+      ("rat", Test_rat.suite);
+      ("digraph", Test_digraph.suite);
+      ("execgraph", Test_execgraph.suite);
+      ("cyclespace", Test_cyclespace.suite);
+      ("lp", Test_lp.suite);
+      ("abc", Test_abc.suite);
+      ("clock_sync", Test_clock_sync.suite);
+      ("lockstep", Test_lockstep.suite);
+      ("delay_assignment", Test_delay_assignment.suite);
+      ("failure_detector", Test_failure_detector.suite);
+      ("models", Test_models.suite);
+      ("consensus", Test_consensus.suite);
+      ("sim", Test_sim.suite);
+      ("extensions", Test_extensions.suite);
+      ("robustness", Test_robustness.suite);
+    ]

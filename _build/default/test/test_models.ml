@@ -1,0 +1,274 @@
+(* Tests for the model-relation modules: Θ-Model (Theorem 6), ParSync
+   and the Fig. 8 game, FIFO from ABC (Fig. 10), MCM/MMR conditions,
+   and the Section 6 variants. *)
+
+open Core
+open Execgraph
+
+let xi a b = Rat.of_ints a b
+let q = Rat.of_ints
+
+let run_theta ?(seed = 5) ?(nprocs = 3) ~tau_minus ~tau_plus ~max_events () =
+  let rng = Random.State.make [| seed |] in
+  let scheduler = Sim.theta_scheduler ~rng ~tau_minus ~tau_plus () in
+  let cfg =
+    Sim.make_config ~nprocs
+      ~algorithm:(Clock_sync.algorithm ~f:0)
+      ~faults:(Array.make nprocs Sim.Correct) ~scheduler ~max_events ()
+  in
+  Sim.run cfg
+
+let theta_tests =
+  [
+    Alcotest.test_case "static delay ratio within scheduler bounds" `Quick (fun () ->
+        let r = run_theta ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) ~max_events:120 () in
+        match Theta_model.static_delay_ratio r.Sim.graph with
+        | None -> Alcotest.fail "expected timed messages"
+        | Some ratio -> Alcotest.(check bool) "<= 2" true Rat.O.(ratio <= q 2 1));
+    Alcotest.test_case "thm6: Theta executions are ABC-admissible (Xi > Theta)" `Quick
+      (fun () ->
+        let r = run_theta ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) ~max_events:150 () in
+        Alcotest.(check bool) "subset check" true
+          (Theta_model.subset_of_abc r.Sim.graph ~theta:(q 2 1) ~xi:(q 9 4));
+        Alcotest.(check bool) "directly admissible" true
+          (Abc_check.is_admissible r.Sim.graph ~xi:(q 9 4)));
+    Alcotest.test_case "dynamic Theta condition holds for uniform scheduler" `Quick
+      (fun () ->
+        let r = run_theta ~tau_minus:(q 1 1) ~tau_plus:(q 3 2) ~max_events:100 () in
+        Alcotest.(check bool) "dynamic admissible" true
+          (Theta_model.dynamic_admissible r.Sim.graph ~theta:(q 3 2)));
+    Alcotest.test_case "converse of thm6 fails: ABC execution outside every Theta" `Quick
+      (fun () ->
+        (* a targeted scheduler stretches one isolated message without
+           creating any relevant cycle: ABC-admissible, Θ-violating *)
+        let rng = Random.State.make [| 9 |] in
+        let scheduler =
+          Sim.targeted_scheduler ~rng ~tau_minus:(q 1 1) ~tau_plus:(q 2 1)
+            ~victim:(fun ~sender:_ ~dst ~msg_index:_ -> dst = 2)
+            ~stretched:(fun ~send_time -> Rat.add (q 500 1) send_time)
+            ()
+        in
+        (* p2 only listens: use clock sync with n=3 but f=0; p2's
+           replies exist but every message TO p2 is slow.  The delay
+           ratio explodes while relevant cycles through p2 stay rare. *)
+        let cfg =
+          Sim.make_config ~nprocs:3
+            ~algorithm:(Clock_sync.algorithm ~f:0)
+            ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct |]
+            ~scheduler ~max_events:60 ()
+        in
+        let r = Sim.run cfg in
+        match Theta_model.static_delay_ratio r.Sim.graph with
+        | None -> () (* zero-delay message: outside every Theta, fine *)
+        | Some ratio ->
+            Alcotest.(check bool) "ratio far above any reasonable Theta" true
+              Rat.O.(ratio > q 50 1));
+  ]
+
+let parsync_tests =
+  [
+    Alcotest.test_case "fig8: prover wins for every adversary choice" `Quick (fun () ->
+        List.iter
+          (fun (phi, delta) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "phi=%d delta=%d" phi delta)
+              true
+              (Parsync.prover_wins ~phi ~delta ~xi:(xi 5 4)))
+          [ (1, 1); (3, 2); (5, 10); (20, 7); (50, 50) ]);
+    Alcotest.test_case "fig8: prover execution admissible for tiny Xi" `Quick (fun () ->
+        let g = Parsync.prover_execution ~phi:4 ~delta:4 in
+        Alcotest.(check bool) "admissible at 21/20" true
+          (Abc_check.is_admissible g ~xi:(xi 21 20)));
+    Alcotest.test_case "parsync checks accept compliant executions" `Quick (fun () ->
+        (* a fully synchronous round-robin-ish run: constant delays *)
+        let rng = Random.State.make [| 4 |] in
+        ignore rng;
+        let scheduler = Sim.constant_scheduler (q 1 1) in
+        let cfg =
+          Sim.make_config ~nprocs:3
+            ~algorithm:(Clock_sync.algorithm ~f:0)
+            ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct |]
+            ~scheduler ~max_events:90 ()
+        in
+        let r = Sim.run cfg in
+        (* generous bounds: every message spans at most a few global
+           events per time unit with constant delays *)
+        Alcotest.(check bool) "consistent with large (phi, delta)" true
+          (Parsync.parsync_consistent r.Sim.graph ~phi:60 ~delta:60));
+  ]
+
+let fifo_tests =
+  [
+    Alcotest.test_case "fig10: chatter 4 gives FIFO at Xi=4" `Quick (fun () ->
+        Alcotest.(check bool) "guaranteed" true
+          (Fifo.fifo_guaranteed ~xi:(xi 4 1) ~n_messages:4 ~chatter:4));
+    Alcotest.test_case "fig10: reordering closes a relevant cycle of ratio 5" `Quick
+      (fun () ->
+        let bad = Fifo.build ~n_messages:2 ~chatter:4 ~reordered:(Some 0) () in
+        match Abc_check.check bad.Fifo.graph ~xi:(xi 4 1) with
+        | Abc_check.Admissible -> Alcotest.fail "should violate at Xi=4"
+        | Abc_check.Violation c ->
+            Alcotest.(check bool) "ratio is 5" true
+              (Rat.equal (Cycle.ratio c) (xi 5 1)));
+    Alcotest.test_case "fig10: insufficient chatter gives no FIFO guarantee" `Quick
+      (fun () ->
+        (* chatter 2 -> reorder cycle ratio 3 < Xi=4: allowed *)
+        let bad = Fifo.build ~n_messages:2 ~chatter:2 ~reordered:(Some 0) () in
+        Alcotest.(check bool) "reordered run admissible" true
+          (Abc_check.is_admissible bad.Fifo.graph ~xi:(xi 4 1)));
+    Alcotest.test_case "fig10: in-order run admissible for every Xi" `Quick (fun () ->
+        let ok = Fifo.build ~n_messages:5 ~chatter:6 ~reordered:None () in
+        List.iter
+          (fun x ->
+            Alcotest.(check bool) (Rat.to_string x) true
+              (Abc_check.is_admissible ok.Fifo.graph ~xi:x))
+          [ xi 21 20; xi 3 2; xi 10 1 ]);
+  ]
+
+let related_tests =
+  [
+    Alcotest.test_case "mcm: split exists iff factor-2 gap" `Quick (fun () ->
+        let d l = List.map (fun (a, b) -> q a b) l in
+        (match Related_models.mcm_split (d [ (1, 1); (11, 10); (5, 1); (6, 1) ]) with
+        | None -> Alcotest.fail "expected a split"
+        | Some c ->
+            Alcotest.(check int) "fast count" 2 c.Related_models.n_fast;
+            Alcotest.(check int) "slow count" 2 c.Related_models.n_slow);
+        Alcotest.(check bool) "no split in dense delays" true
+          (Related_models.mcm_split (d [ (1, 1); (3, 2); (2, 1); (3, 1) ]) = None));
+    Alcotest.test_case "mmr: stable quorum detection" `Quick (fun () ->
+        (* n=4, f=1: quorum 3; rounds where {0,1,2} always come first *)
+        let good = [ [ 0; 1; 2; 3 ]; [ 2; 0; 1; 3 ]; [ 1; 2; 0; 3 ] ] in
+        Alcotest.(check bool) "holds" true (Related_models.mmr_holds ~n:4 ~f:1 good);
+        let bad = [ [ 0; 1; 2; 3 ]; [ 3; 0; 1; 2 ]; [ 2; 3; 0; 1 ] ] in
+        Alcotest.(check bool) "fails" false (Related_models.mmr_holds ~n:4 ~f:1 bad);
+        Alcotest.(check int) "stable size" 1
+          (Related_models.mmr_stable_quorum_size ~n:4 ~f:1 bad));
+  ]
+
+let variants_tests =
+  [
+    Alcotest.test_case "eventual ABC: violating prefix is cut away" `Quick (fun () ->
+        (* a graph that violates Xi=2 early (Fig. 3 shape) followed by
+           nothing: the whole graph violates, the suffix is clean *)
+        let g = Test_execgraph.build_fig ~reply_after_psi:true () in
+        match Variants.eventually_admissible g ~xi:(xi 2 1) with
+        | None -> Alcotest.fail "a suffix must be admissible"
+        | Some k ->
+            Alcotest.(check bool) "nontrivial cut" true (k > 0);
+            Alcotest.(check bool) "suffix admissible" true
+              (Abc_check.is_admissible (Variants.suffix_graph g ~cut:k) ~xi:(xi 2 1)));
+    Alcotest.test_case "eventual ABC: admissible graph needs no cut" `Quick (fun () ->
+        let g = Test_execgraph.build_fig1 () in
+        Alcotest.(check (option int)) "cut 0" (Some 0)
+          (Variants.eventually_admissible g ~xi:(xi 2 1)));
+    Alcotest.test_case "xi learner converges upward" `Quick (fun () ->
+        let open Variants.Xi_learner in
+        let l = create ~initial:(xi 3 2) in
+        let l = observe l ~ratio:(xi 2 1) ~margin:(xi 1 2) in
+        Alcotest.(check bool) "revised" true (Rat.equal (estimate l) (xi 5 2));
+        let l = observe l ~ratio:(xi 2 1) ~margin:(xi 1 2) in
+        Alcotest.(check int) "no second revision" 1 (revisions l));
+    Alcotest.test_case "bounded-cycle restriction is weaker" `Quick (fun () ->
+        (* fig1 cycle has 4 forward messages: restricting to <= 2
+           forward messages exempts it *)
+        let g = Test_execgraph.build_fig1 () in
+        Alcotest.(check bool) "violates unrestricted at 5/4" false
+          (Abc_check.is_admissible g ~xi:(xi 5 4));
+        Alcotest.(check bool) "admissible under bounded-cycle model" true
+          (Variants.admissible_bounded_cycles g ~xi:(xi 5 4) ~max_forward:2));
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1_000_000)
+
+let property_tests =
+  [
+    prop "thm6 on random Theta executions" 25 arb_seed (fun seed ->
+        let r = run_theta ~seed ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) ~max_events:80 () in
+        Theta_model.subset_of_abc r.Sim.graph ~theta:(q 2 1) ~xi:(q 9 4));
+    prop "eventually_admissible returns the minimal admissible cut" 40 arb_seed
+      (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g = Util.random_execution rng ~nprocs:3 ~max_events:14 ~max_delay:3 ~fanout:2 in
+        let x = xi 3 2 in
+        match Variants.eventually_admissible g ~xi:x with
+        | None -> true
+        | Some 0 -> Abc_check.is_admissible g ~xi:x
+        | Some k ->
+            Abc_check.is_admissible (Variants.suffix_graph g ~cut:k) ~xi:x
+            && not (Abc_check.is_admissible (Variants.suffix_graph g ~cut:(k - 1)) ~xi:x));
+    prop "fig8 game across the adversary grid" 20 arb_seed (fun seed ->
+        let phi = 1 + (seed mod 17) and delta = 1 + (seed mod 23) in
+        Parsync.prover_wins ~phi ~delta ~xi:(xi 6 5));
+  ]
+
+let base_suite =
+  theta_tests @ parsync_tests @ fifo_tests @ related_tests @ variants_tests
+  @ property_tests
+
+(* ------------------------------------------------------------------ *)
+(* Additional coverage: MCM boundary pairs, Theta bounds, cut at_time *)
+
+let coverage_tests =
+  [
+    Alcotest.test_case "mcm_boundary_pairs counts (1,2] ratios" `Quick (fun () ->
+        let d l = List.map (fun (a, b) -> q a b) l in
+        (* pairs: (1,3/2) ratio 3/2 bad; (1,4) ratio 4 ok; (3/2,4) ratio 8/3 ok *)
+        let frac = Related_models.mcm_boundary_pairs (d [ (1, 1); (3, 2); (4, 1) ]) in
+        Alcotest.(check bool) "1/3 of pairs" true (abs_float (frac -. (1.0 /. 3.0)) < 1e-9);
+        Alcotest.(check bool) "no pairs -> 0" true
+          (Related_models.mcm_boundary_pairs [] = 0.0));
+    Alcotest.test_case "theta delay_bounds on a constant schedule" `Quick (fun () ->
+        let r = run_theta ~tau_minus:(q 3 2) ~tau_plus:(q 3 2) ~max_events:60 () in
+        match Theta_model.delay_bounds r.Sim.graph with
+        | None -> Alcotest.fail "expected messages"
+        | Some (lo, hi) ->
+            Alcotest.(check bool) "lo = hi = 3/2" true
+              (Rat.equal lo (q 3 2) && Rat.equal hi (q 3 2));
+            Alcotest.(check bool) "ratio 1" true
+              (match Theta_model.static_delay_ratio r.Sim.graph with
+              | Some x -> Rat.equal x Rat.one
+              | None -> false));
+    Alcotest.test_case "cut at_time is left-closed on simulated runs" `Quick (fun () ->
+        let r = run_theta ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) ~max_events:80 () in
+        let g = r.Sim.graph in
+        List.iter
+          (fun t ->
+            let c = Cut.at_time g (q t 1) in
+            let cl = Cut.left_closure g c in
+            Alcotest.(check bool)
+              (Printf.sprintf "closed at t=%d" t)
+              true
+              (Cut.frontier cl = Cut.frontier c))
+          [ 0; 3; 7; 15 ]);
+    Alcotest.test_case "parsync delivery check catches the Fig. 8 stall" `Quick (fun () ->
+        (* the slow message spans far more than delta + phi global
+           ticks; r's only event is terminal, so the speed check (which
+           requires activity on both sides of the window) is vacuous
+           here -- the delivery condition is what the prover violates *)
+        let g = Parsync.prover_execution ~phi:3 ~delta:3 in
+        Alcotest.(check bool) "delivery violations found" true
+          (Parsync.delivery_violations g ~phi:3 ~delta:3 <> []);
+        Alcotest.(check bool) "not parsync consistent" false
+          (Parsync.parsync_consistent g ~phi:3 ~delta:3));
+    Alcotest.test_case "parsync speed check catches a mid-run stall" `Quick (fun () ->
+        (* p takes a step, stalls while q takes 6 steps, then resumes:
+           a Phi = 3 violation *)
+        let g = Graph.create ~nprocs:2 in
+        let p0 = Graph.add_event g ~proc:0 in
+        let qe = ref None in
+        for _ = 1 to 6 do
+          qe := Some (Graph.add_event g ~proc:1)
+        done;
+        let p1 = Graph.add_event g ~proc:0 in
+        ignore (Graph.add_message g ~src:p0.Event.id ~dst:(Option.get !qe).Event.id);
+        ignore (Graph.add_message g ~src:(Option.get !qe).Event.id ~dst:p1.Event.id);
+        Alcotest.(check bool) "violation found" true
+          (Parsync.speed_violations g ~phi:3 <> []);
+        Alcotest.(check bool) "fine with generous phi" true
+          (Parsync.speed_violations g ~phi:10 = []));
+  ]
+
+let suite = base_suite @ coverage_tests

@@ -1,0 +1,111 @@
+(* Unit and property tests for exact rationals and the ε-extension. *)
+
+let q = Rat.of_ints
+let check_str msg expected actual = Alcotest.(check string) msg expected (Rat.to_string actual)
+
+let gen_rat =
+  let open QCheck.Gen in
+  map2
+    (fun n d ->
+      let d = if d = 0 then 1 else d in
+      Rat.of_ints n d)
+    (int_range (-10000) 10000)
+    (int_range (-100) 100)
+
+let arb_rat = QCheck.make ~print:Rat.to_string gen_rat
+
+let arb_nonzero_rat =
+  QCheck.make ~print:Rat.to_string
+    (QCheck.Gen.map (fun x -> if Rat.is_zero x then Rat.one else x) gen_rat)
+
+let unit_tests =
+  [
+    Alcotest.test_case "canonical form" `Quick (fun () ->
+        check_str "2/4" "1/2" (q 2 4);
+        check_str "-2/-4" "1/2" (q (-2) (-4));
+        check_str "2/-4" "-1/2" (q 2 (-4));
+        check_str "0/7" "0" (q 0 7);
+        check_str "6/3" "2" (q 6 3));
+    Alcotest.test_case "arithmetic samples" `Quick (fun () ->
+        check_str "1/2+1/3" "5/6" (Rat.add (q 1 2) (q 1 3));
+        check_str "1/2-1/3" "1/6" (Rat.sub (q 1 2) (q 1 3));
+        check_str "2/3*3/4" "1/2" (Rat.mul (q 2 3) (q 3 4));
+        check_str "(1/2)/(1/3)" "3/2" (Rat.div (q 1 2) (q 1 3));
+        check_str "inv -2/3" "-3/2" (Rat.inv (q (-2) 3)));
+    Alcotest.test_case "of_string forms" `Quick (fun () ->
+        check_str "frac" "3/2" (Rat.of_string "3/2");
+        check_str "int" "7" (Rat.of_string "7");
+        check_str "decimal" "3/2" (Rat.of_string "1.5");
+        check_str "neg decimal" "-5/4" (Rat.of_string "-1.25"));
+    Alcotest.test_case "floor/ceil" `Quick (fun () ->
+        Alcotest.(check int) "floor 7/2" 3 (Rat.floor_int (q 7 2));
+        Alcotest.(check int) "ceil 7/2" 4 (Rat.ceil_int (q 7 2));
+        Alcotest.(check int) "floor -7/2" (-4) (Rat.floor_int (q (-7) 2));
+        Alcotest.(check int) "ceil -7/2" (-3) (Rat.ceil_int (q (-7) 2));
+        Alcotest.(check int) "floor 4" 4 (Rat.floor_int (q 4 1)));
+    Alcotest.test_case "compare" `Quick (fun () ->
+        Alcotest.(check bool) "1/3 < 1/2" true Rat.O.(q 1 3 < q 1 2);
+        Alcotest.(check bool) "-1/2 < -1/3" true Rat.O.(q (-1) 2 < q (-1) 3);
+        Alcotest.(check bool) "2/4 = 1/2" true (Rat.equal (q 2 4) (q 1 2)));
+    Alcotest.test_case "epsilon ordering" `Quick (fun () ->
+        let open Rat.Eps in
+        Alcotest.(check bool) "eps > 0" true (compare epsilon zero > 0);
+        Alcotest.(check bool) "eps < any positive rational" true
+          (compare epsilon (of_rat (q 1 1000000)) < 0);
+        Alcotest.(check bool) "1 < 1 + eps" true
+          (compare one (add one epsilon) < 0);
+        Alcotest.(check bool) "1 - eps < 1" true (compare (sub one epsilon) one < 0));
+    Alcotest.test_case "epsilon standardization" `Quick (fun () ->
+        let x = Rat.Eps.make (q 3 2) (q (-2) 1) in
+        check_str "subst 1/8" "5/4" (Rat.Eps.standardize_with (q 1 8) x));
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let property_tests =
+  [
+    prop "canonical: gcd(num,den)=1, den>0" 500 arb_rat (fun x ->
+        Bigint.is_positive (Rat.den x)
+        && (Rat.is_zero x || Bigint.is_one (Bigint.gcd (Rat.num x) (Rat.den x))));
+    prop "field: add/sub inverse" 300 (QCheck.pair arb_rat arb_rat) (fun (x, y) ->
+        Rat.equal x (Rat.sub (Rat.add x y) y));
+    prop "field: mul/div inverse" 300 (QCheck.pair arb_rat arb_nonzero_rat)
+      (fun (x, y) -> Rat.equal x (Rat.div (Rat.mul x y) y));
+    prop "distributivity" 300 (QCheck.triple arb_rat arb_rat arb_rat) (fun (x, y, z) ->
+        Rat.equal (Rat.mul x (Rat.add y z)) (Rat.add (Rat.mul x y) (Rat.mul x z)));
+    prop "string roundtrip" 300 arb_rat (fun x ->
+        Rat.equal x (Rat.of_string (Rat.to_string x)));
+    prop "floor <= x < floor+1" 300 arb_rat (fun x ->
+        let f = Rat.of_bigint (Rat.floor x) in
+        Rat.O.(f <= x) && Rat.O.(x < Rat.add f Rat.one));
+    prop "ceil = -floor(-x)" 300 arb_rat (fun x ->
+        Bigint.equal (Rat.ceil x) (Bigint.neg (Rat.floor (Rat.neg x))));
+    prop "compare consistent with sub sign" 300 (QCheck.pair arb_rat arb_rat)
+      (fun (x, y) -> Rat.compare x y = Rat.sign (Rat.sub x y));
+    prop "to_float approximates" 300 arb_rat (fun x ->
+        let f = Rat.to_float x in
+        abs_float (f -. (float_of_int (Bigint.to_int_exn (Rat.num x))
+                         /. float_of_int (Bigint.to_int_exn (Rat.den x))))
+        < 1e-9);
+    prop "eps: lexicographic vs standardization with tiny e" 300
+      (QCheck.pair (QCheck.pair arb_rat arb_rat) (QCheck.pair arb_rat arb_rat))
+      (fun ((a, b), (c, d)) ->
+        (* For small enough concrete e, the lexicographic order agrees
+           with the standardized order (strictly, when not equal). *)
+        let x = Rat.Eps.make a b and y = Rat.Eps.make c d in
+        let cmp = Rat.Eps.compare x y in
+        if cmp = 0 then true
+        else begin
+          let e = q 1 100000000 in
+          let e =
+            (* shrink e below |a-c| / (|b|+|d|+1) to be safe *)
+            let diff = Rat.abs (Rat.sub a c) in
+            if Rat.is_zero diff then e
+            else Rat.min e (Rat.div diff (Rat.add (Rat.add (Rat.abs b) (Rat.abs d)) Rat.two))
+          in
+          let sx = Rat.Eps.standardize_with e x and sy = Rat.Eps.standardize_with e y in
+          compare (Rat.compare sx sy) 0 = compare cmp 0
+        end);
+  ]
+
+let suite = unit_tests @ property_tests

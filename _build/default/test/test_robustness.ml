@@ -1,0 +1,111 @@
+(* Error-path and robustness tests: invalid inputs must fail loudly and
+   precisely, and the parametric scenario sweeps must match their
+   closed-form ratios. *)
+
+open Execgraph
+
+let q = Rat.of_ints
+
+let raises_invalid name f =
+  Alcotest.(check bool) name true
+    (match f () with
+    | exception Invalid_argument _ -> true
+    | exception Division_by_zero -> true
+    | _ -> false)
+
+let unit_tests =
+  [
+    Alcotest.test_case "bigint: malformed strings rejected" `Quick (fun () ->
+        List.iter
+          (fun s -> raises_invalid s (fun () -> Bigint.of_string s))
+          [ ""; "abc"; "1.5"; "--3"; "-" ];
+        raises_invalid "pow negative" (fun () -> Bigint.pow Bigint.two (-1));
+        raises_invalid "shift negative" (fun () -> Bigint.shift_left Bigint.one (-1));
+        raises_invalid "div by zero" (fun () -> Bigint.div Bigint.one Bigint.zero);
+        raises_invalid "of_float nan" (fun () -> Bigint.of_float_floor Float.nan));
+    Alcotest.test_case "rat: zero denominators and inverses rejected" `Quick (fun () ->
+        raises_invalid "of_ints 1 0" (fun () -> Rat.of_ints 1 0);
+        raises_invalid "inv 0" (fun () -> Rat.inv Rat.zero);
+        raises_invalid "div by 0" (fun () -> Rat.div Rat.one Rat.zero));
+    Alcotest.test_case "digraph: out-of-range edges rejected" `Quick (fun () ->
+        let g = Digraph.create 2 in
+        raises_invalid "src out of range" (fun () -> Digraph.add_edge g ~src:5 ~dst:0);
+        raises_invalid "dst out of range" (fun () -> Digraph.add_edge g ~src:0 ~dst:(-1));
+        raises_invalid "edge index" (fun () -> Digraph.edge g 0));
+    Alcotest.test_case "execgraph: invalid construction rejected" `Quick (fun () ->
+        let g = Graph.create ~nprocs:2 in
+        raises_invalid "bad process" (fun () -> Graph.add_event g ~proc:7);
+        raises_invalid "bad event ids" (fun () -> Graph.add_message g ~src:0 ~dst:1);
+        raises_invalid "event out of range" (fun () -> Graph.event g 0));
+    Alcotest.test_case "abc checker: Xi <= 1 rejected" `Quick (fun () ->
+        let g = Graph.create ~nprocs:1 in
+        ignore (Graph.add_event g ~proc:0);
+        raises_invalid "Xi = 1" (fun () -> Abc_check.is_admissible g ~xi:Rat.one);
+        raises_invalid "Xi = 1/2" (fun () -> Abc_check.is_admissible g ~xi:(q 1 2)));
+    Alcotest.test_case "scenario builders validate their parameters" `Quick (fun () ->
+        raises_invalid "spanning k1=0" (fun () -> Core.Scenarios.spanning_cycle ~k1:0 ~k2:3 ());
+        raises_invalid "timeout odd chain" (fun () -> Core.Scenarios.timeout ~chain:3 ());
+        raises_invalid "timeout chain 0" (fun () -> Core.Scenarios.timeout ~chain:0 ()));
+    Alcotest.test_case "lockstep schedules validate" `Quick (fun () ->
+        raises_invalid "uniform 0" (fun () -> Core.Lockstep.uniform_schedule 0);
+        raises_invalid "doubling 0" (fun () -> Core.Lockstep.doubling_schedule 0));
+    Alcotest.test_case "sim config validation" `Quick (fun () ->
+        let algo : (unit, unit) Sim.algorithm =
+          {
+            init = (fun ~self:_ ~nprocs:_ -> ((), []));
+            step = (fun ~self:_ ~nprocs:_ () ~sender:_ () -> ((), []));
+          }
+        in
+        raises_invalid "fault array size" (fun () ->
+            Sim.make_config ~nprocs:3 ~algorithm:algo ~faults:[| Sim.Correct |]
+              ~scheduler:(Sim.constant_scheduler Rat.one) ~max_events:10 ());
+        raises_invalid "byzantine without algorithm" (fun () ->
+            Sim.make_config ~nprocs:1 ~algorithm:algo ~faults:[| Sim.Byzantine |]
+              ~scheduler:(Sim.constant_scheduler Rat.one) ~max_events:10 ()));
+    Alcotest.test_case "cycle ratio on non-relevant cycles rejected" `Quick (fun () ->
+        let g = Graph.create ~nprocs:1 in
+        let a = Graph.add_event g ~proc:0 in
+        let b = Graph.add_event g ~proc:0 in
+        ignore (Graph.add_message g ~src:a.Event.id ~dst:b.Event.id);
+        match Cycle.enumerate g with
+        | [ c ] -> raises_invalid "ratio of non-relevant" (fun () -> Cycle.ratio c)
+        | _ -> Alcotest.fail "expected one cycle");
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let property_tests =
+  [
+    prop "spanning_cycle threshold is exactly k2/k1" 60
+      (QCheck.pair (QCheck.int_range 1 6) (QCheck.int_range 1 7))
+      (fun (k1, k2) ->
+        (* qcheck's int_range shrinker can escape its bounds; clamp *)
+        let k1 = max 1 k1 and k2 = max 1 k2 in
+        let g = Core.Scenarios.spanning_cycle ~k1 ~k2 () in
+        (* admissible iff Xi > k2/k1: probe both sides of the boundary *)
+        let r = Rat.of_ints k2 k1 in
+        let above = Rat.max (Rat.add r (q 1 100)) (q 101 100) in
+        let ok_above = Abc_check.is_admissible g ~xi:above in
+        let ok_at =
+          if Rat.compare r Rat.one > 0 then not (Abc_check.is_admissible g ~xi:r) else true
+        in
+        ok_above && ok_at);
+    prop "deferring adversary never breaks admissibility" 12
+      (QCheck.int_range 0 1000)
+      (fun seed ->
+        let xi = q (2 + (seed mod 3)) 1 in
+        let cfg =
+          Sim.make_config ~nprocs:4
+            ~algorithm:(Core.Clock_sync.algorithm ~f:1)
+            ~faults:(Array.make 4 Sim.Correct)
+            ~scheduler:(Sim.constant_scheduler Rat.one)
+            ~max_events:(120 + (seed mod 60))
+            ()
+        in
+        let r =
+          Sim.run_deferring cfg ~xi ~victim:(fun ~sender ~dst:_ -> sender = seed mod 4)
+        in
+        Abc_check.is_admissible r.Sim.graph ~xi && Graph.is_dag r.Sim.graph);
+  ]
+
+let suite = unit_tests @ property_tests

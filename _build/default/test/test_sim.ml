@@ -1,0 +1,264 @@
+(* Tests for the discrete-event simulator substrate itself: wake-up
+   ordering, fault semantics, the faulty-message dropping rule for the
+   faithful execution graph, scheduler behaviours, and trace/graph
+   consistency. *)
+
+open Execgraph
+
+let q = Rat.of_ints
+
+(* A transparent echo algorithm: every process records what it
+   received; process 0 broadcasts a token at wake-up, everyone relays
+   it exactly once. *)
+type msg = Token of int
+
+type echo_state = { seen : (int * int) list; relayed : bool }
+
+let echo : (echo_state, msg) Sim.algorithm =
+  {
+    init =
+      (fun ~self ~nprocs ->
+        let sends =
+          if self = 0 then List.init nprocs (fun d -> { Sim.dst = d; payload = Token 0 })
+          else []
+        in
+        ({ seen = []; relayed = false }, sends));
+    step =
+      (fun ~self ~nprocs s ~sender (Token h) ->
+        let s = { s with seen = (sender, h) :: s.seen } in
+        if (not s.relayed) && self <> 0 then
+          ( { s with relayed = true },
+            List.init nprocs (fun d -> { Sim.dst = d; payload = Token (h + 1) }) )
+        else (s, []));
+  }
+
+let run ?(nprocs = 3) ?(faults = None) ?byz ?(max_events = 100) ?(scheduler = None) () =
+  let faults = match faults with Some f -> f | None -> Array.make nprocs Sim.Correct in
+  let scheduler =
+    match scheduler with
+    | Some s -> s
+    | None -> Sim.constant_scheduler (q 1 1)
+  in
+  Sim.run (Sim.make_config ?byzantine:byz ~nprocs ~algorithm:echo ~faults ~scheduler ~max_events ())
+
+let unit_tests =
+  [
+    Alcotest.test_case "wake-ups precede every message" `Quick (fun () ->
+        let r = run () in
+        (* the first events at each process are its wake-up: trace
+           entries with tr_sender = -1 come before any other entry of
+           the same process *)
+        let seen_wake = Array.make 3 false in
+        Array.iter
+          (fun te ->
+            if te.Sim.tr_sender = -1 then seen_wake.(te.Sim.tr_proc) <- true
+            else
+              Alcotest.(check bool) "woke before receiving" true seen_wake.(te.Sim.tr_proc))
+          r.Sim.trace);
+    Alcotest.test_case "faithful graph equals full graph when all correct" `Quick
+      (fun () ->
+        let r = run () in
+        Alcotest.(check int) "same events" (Graph.event_count r.Sim.full_graph)
+          (Graph.event_count r.Sim.graph));
+    Alcotest.test_case "graphs are DAGs with consistent local chains" `Quick (fun () ->
+        let r = run ~max_events:60 () in
+        Alcotest.(check bool) "faithful DAG" true (Graph.is_dag r.Sim.graph);
+        Alcotest.(check bool) "full DAG" true (Graph.is_dag r.Sim.full_graph);
+        (* seq numbers are dense and in insertion order per process *)
+        List.iter
+          (fun p ->
+            List.iteri
+              (fun i id ->
+                Alcotest.(check int) "dense seq" i (Graph.event r.Sim.graph id).Event.seq)
+              (Graph.events_of_proc r.Sim.graph p))
+          [ 0; 1; 2 ]);
+    Alcotest.test_case "crash stops processing but not receiving" `Quick (fun () ->
+        let faults = [| Sim.Correct; Sim.Crash 1; Sim.Correct |] in
+        let r = run ~faults:(Some faults) () in
+        (* p1 woke (1 step) then crashed: its state never relays *)
+        Alcotest.(check bool) "p1 did not relay" false r.Sim.final_states.(1).relayed;
+        (* but receive events at p1 exist in the graph *)
+        Alcotest.(check bool) "p1 has receive events" true
+          (List.length (Graph.events_of_proc r.Sim.graph 1) > 1);
+        (* and unprocessed trace entries are flagged *)
+        Alcotest.(check bool) "unprocessed entries exist" true
+          (Array.exists
+             (fun te -> te.Sim.tr_proc = 1 && not te.Sim.tr_processed)
+             r.Sim.trace));
+    Alcotest.test_case "crash at 0 still yields an initial state" `Quick (fun () ->
+        let faults = [| Sim.Correct; Sim.Crash 0; Sim.Correct |] in
+        let r = run ~faults:(Some faults) () in
+        Alcotest.(check bool) "initial state" false r.Sim.final_states.(1).relayed;
+        Alcotest.(check (list (pair int int))) "saw nothing" [] r.Sim.final_states.(1).seen);
+    Alcotest.test_case "byzantine-sent messages dropped from faithful graph" `Quick
+      (fun () ->
+        let faults = [| Sim.Correct; Sim.Byzantine; Sim.Correct |] in
+        let byz : (echo_state, msg) Sim.algorithm =
+          {
+            init =
+              (fun ~self:_ ~nprocs ->
+                ( { seen = []; relayed = false },
+                  List.init nprocs (fun d -> { Sim.dst = d; payload = Token 99 }) ));
+            step = (fun ~self:_ ~nprocs:_ s ~sender:_ _ -> (s, []));
+          }
+        in
+        let r = run ~faults:(Some faults) ~byz () in
+        (* the byzantine broadcast reached everyone in the full graph
+           but none of its messages appear in the faithful one *)
+        Alcotest.(check bool) "full has more events" true
+          (Graph.event_count r.Sim.full_graph > Graph.event_count r.Sim.graph);
+        (* faithful message count = full minus byz-sent *)
+        let byz_receipts =
+          Array.fold_left
+            (fun acc te -> if te.Sim.tr_sender = 1 then acc + 1 else acc)
+            0 r.Sim.trace
+        in
+        Alcotest.(check int) "every byz receipt dropped"
+          (Graph.event_count r.Sim.full_graph - byz_receipts)
+          (Graph.event_count r.Sim.graph));
+    Alcotest.test_case "scheduler delays shape arrival order" `Quick (fun () ->
+        (* constant delay 1: token relays arrive in generations *)
+        let r = run () in
+        let times =
+          List.filter_map
+            (fun id -> (Graph.event r.Sim.graph id).Event.time)
+            (List.init (Graph.event_count r.Sim.graph) Fun.id)
+        in
+        Alcotest.(check bool) "timestamps recorded" true (times <> []);
+        List.iter
+          (fun t -> Alcotest.(check bool) "integral times" true (Rat.is_integer t))
+          times);
+    Alcotest.test_case "negative delays are rejected" `Quick (fun () ->
+        let scheduler =
+          { Sim.delay = (fun ~sender:_ ~dst:_ ~send_time:_ ~msg_index:_ ~payload:_ -> q (-1) 1) }
+        in
+        Alcotest.check_raises "invalid" (Invalid_argument "Sim.run: negative delay")
+          (fun () -> ignore (run ~scheduler:(Some scheduler) ())));
+    Alcotest.test_case "stop_when halts the run" `Quick (fun () ->
+        let r =
+          Sim.run
+            (Sim.make_config ~nprocs:3 ~algorithm:echo
+               ~faults:(Array.make 3 Sim.Correct)
+               ~scheduler:(Sim.constant_scheduler (q 1 1))
+               ~max_events:1000
+               ~stop_when:(fun states -> Array.exists (fun s -> s.relayed) states)
+               ())
+        in
+        Alcotest.(check bool) "stopped early" true (r.Sim.delivered < 1000));
+    Alcotest.test_case "theta scheduler respects its bounds" `Quick (fun () ->
+        let rng = Random.State.make [| 4 |] in
+        let s = Sim.theta_scheduler ~rng ~tau_minus:(q 3 2) ~tau_plus:(q 4 1) () in
+        for i = 0 to 200 do
+          let d =
+            s.Sim.delay ~sender:0 ~dst:1 ~send_time:Rat.zero ~msg_index:i ~payload:(Token 0)
+          in
+          Alcotest.(check bool) "within bounds" true Rat.O.(d >= q 3 2 && d <= q 4 1)
+        done);
+    Alcotest.test_case "growing scheduler grows" `Quick (fun () ->
+        let rng = Random.State.make [| 4 |] in
+        let s =
+          Sim.growing_scheduler ~rng
+            ~cluster_of:(fun p -> p mod 2)
+            ~intra_min:(q 1 1) ~intra_max:(q 2 1) ~inter_base:(q 3 1) ~growth_rate:(q 1 1) ()
+        in
+        let at t =
+          s.Sim.delay ~sender:0 ~dst:1 ~send_time:(q t 1) ~msg_index:0 ~payload:(Token 0)
+        in
+        Alcotest.(check bool) "monotone growth" true Rat.O.(at 10 > at 1);
+        let intra =
+          s.Sim.delay ~sender:0 ~dst:2 ~send_time:(q 50 1) ~msg_index:0 ~payload:(Token 0)
+        in
+        Alcotest.(check bool) "intra stays bounded" true Rat.O.(intra <= q 2 1));
+    Alcotest.test_case "eventually-theta switches at gst" `Quick (fun () ->
+        let rng = Random.State.make [| 4 |] in
+        let s =
+          Sim.eventually_theta_scheduler ~rng ~gst:(q 10 1) ~chaos_max:(q 100 1)
+            ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) ()
+        in
+        for i = 0 to 100 do
+          let d =
+            s.Sim.delay ~sender:0 ~dst:1 ~send_time:(q 11 1) ~msg_index:i ~payload:(Token 0)
+          in
+          Alcotest.(check bool) "steady after gst" true Rat.O.(d >= q 1 1 && d <= q 2 1)
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Oracle-guided deferring adversary *)
+
+let adversary_tests =
+  [
+    Alcotest.test_case "deferring adversary keeps executions admissible" `Quick
+      (fun () ->
+        let xi = q 2 1 in
+        let cfg =
+          Sim.make_config ~nprocs:3
+            ~algorithm:(Core.Clock_sync.algorithm ~f:0)
+            ~faults:(Array.make 3 Sim.Correct)
+            ~scheduler:(Sim.constant_scheduler (q 1 1)) (* unused by run_deferring *)
+            ~max_events:120 ()
+        in
+        let r = Sim.run_deferring cfg ~xi ~victim:(fun ~sender:_ ~dst -> dst = 2) in
+        Alcotest.(check bool) "admissible" true (Abc_check.is_admissible r.Sim.graph ~xi);
+        Alcotest.(check bool) "DAG" true (Graph.is_dag r.Sim.graph);
+        (* the adversary actually defers: process 2 executes fewer
+           events than the others *)
+        let count p = List.length (Graph.events_of_proc r.Sim.graph p) in
+        Alcotest.(check bool) "victim starved" true (count 2 < count 0 && count 2 < count 1));
+    Alcotest.test_case "deferred executions sit near the admissibility boundary" `Quick
+      (fun () ->
+        let xi = q 3 1 in
+        let cfg =
+          Sim.make_config ~nprocs:3
+            ~algorithm:(Core.Clock_sync.algorithm ~f:0)
+            ~faults:(Array.make 3 Sim.Correct)
+            ~scheduler:(Sim.constant_scheduler (q 1 1))
+            ~max_events:150 ()
+        in
+        let r = Sim.run_deferring cfg ~xi ~victim:(fun ~sender:_ ~dst -> dst = 2) in
+        Alcotest.(check bool) "admissible at Xi" true
+          (Abc_check.is_admissible r.Sim.graph ~xi);
+        (* whatever relevant cycles the deferral creates stay strictly
+           below Xi (the adversary stops exactly at the boundary) *)
+        (match Core.Abc.max_relevant_ratio r.Sim.graph with
+        | None -> ()
+        | Some ratio ->
+            Alcotest.(check bool)
+              (Printf.sprintf "ratio %s < Xi" (Rat.to_string ratio))
+              true
+              Rat.O.(ratio < q 3 1)));
+    Alcotest.test_case "adversary rides the boundary when the system can progress" `Quick
+      (fun () ->
+        (* n = 4, f = 1: the other three advance without the victim, so
+           its deferred ticks close relevant cycles with ratios
+           approaching Xi from below *)
+        let xi = q 3 1 in
+        let cfg =
+          Sim.make_config ~nprocs:4
+            ~algorithm:(Core.Clock_sync.algorithm ~f:1)
+            ~faults:(Array.make 4 Sim.Correct)
+            ~scheduler:(Sim.constant_scheduler (q 1 1))
+            ~max_events:240 ()
+        in
+        let r = Sim.run_deferring cfg ~xi ~victim:(fun ~sender ~dst:_ -> sender = 3) in
+        Alcotest.(check bool) "admissible" true (Abc_check.is_admissible r.Sim.graph ~xi);
+        match Core.Abc.max_relevant_ratio r.Sim.graph with
+        | None -> Alcotest.fail "expected relevant cycles"
+        | Some ratio ->
+            Alcotest.(check bool)
+              (Printf.sprintf "ratio %s in [2, 3)" (Rat.to_string ratio))
+              true
+              Rat.O.(ratio >= q 2 1 && ratio < q 3 1));
+    Alcotest.test_case "deferring with no victims behaves like FIFO" `Quick (fun () ->
+        let cfg =
+          Sim.make_config ~nprocs:3 ~algorithm:echo
+            ~faults:(Array.make 3 Sim.Correct)
+            ~scheduler:(Sim.constant_scheduler (q 1 1))
+            ~max_events:50 ()
+        in
+        let r = Sim.run_deferring cfg ~xi:(q 2 1) ~victim:(fun ~sender:_ ~dst:_ -> false) in
+        Alcotest.(check bool) "all delivered or capped" true
+          (r.Sim.delivered = 50 || r.Sim.undelivered = 0));
+  ]
+
+let suite = unit_tests @ adversary_tests

@@ -1,0 +1,5 @@
+(* Shared helpers for the test suites: thin wrappers over the library
+   generators so suites stay uniform. *)
+
+let random_execution = Execgraph.Generate.random_execution
+let max_relevant_ratio g = Execgraph.Generate.max_relevant_ratio_enum g
