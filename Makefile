@@ -1,0 +1,25 @@
+.PHONY: all build test fuzz check bench reports clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# A short seeded fuzz campaign: runs as many cases as fit in ~5 CPU
+# seconds, deterministic up to where the budget cuts it off.
+fuzz: build
+	dune exec bin/abc_cli.exe -- fuzz --time-budget 5 --seed 1 --no-shrink
+
+check: build test fuzz
+
+reports: build
+	dune exec bench/main.exe -- reports
+
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -600,6 +600,12 @@ let report_s8 () =
   pr "  (the adversary starves the victim while staying exactly admissible;@.";
   pr "   larger Xi permits longer deferral -- the weak-synchrony price)@."
 
+let report_z1 () =
+  header "Z1 | Property-based fuzzer: bounded campaign over the theorem oracles";
+  let outcome = Fuzz.Campaign.run ~shrink:false ~cases:25 ~seed:7 () in
+  pr "%s" (Fuzz.Report.render outcome);
+  pr "  (deterministic: `abc fuzz --seed 7 --cases 25` reproduces this report)@."
+
 let run_reports () =
   pr "ABC model reproduction: experiment reports@.";
   report_f1 ();
@@ -628,6 +634,7 @@ let run_reports () =
   report_s6 ();
   report_s7 ();
   report_s8 ();
+  report_z1 ();
   pr "@.All experiment reports done.@."
 
 (* ------------------------------------------------------------------ *)
@@ -723,6 +730,20 @@ let bench_tests () =
            let inputs = [| 1; 0; 1; 0; 1; 0; 1 |] in
            let algo = Consensus.Eig.algo ~f:2 ~value:(fun p -> inputs.(p)) in
            List.length (Consensus.run_synchronous ~nprocs:7 ~behaviors ~algo ~nrounds:3)));
+    Test.make ~name:"Z1_fuzz_case_eval_150ev"
+      (Staged.stage
+         (let case =
+            {
+              Fuzz.Gen.c_seed = 11;
+              c_nprocs = 4;
+              c_faults = Array.make 4 Sim.Correct;
+              c_xi = q 2 1;
+              c_sched = Fuzz.Gen.S_theta { tau_minus = q 1 1; tau_plus = q 3 2 };
+              c_workload = Fuzz.Gen.W_clock;
+              c_max_events = 150;
+            }
+          in
+          fun () -> List.length (Fuzz.Oracle.evaluate Fuzz.Oracle.registry case)));
   ]
 
 let run_benchmarks () =

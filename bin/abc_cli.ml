@@ -319,6 +319,77 @@ let cmd_omega =
   Cmd.v (Cmd.info "omega" ~doc:"Run the Omega leader-election construction.") term
 
 (* ------------------------------------------------------------------ *)
+(* fuzz *)
+
+let cmd_fuzz =
+  let run cases seed time_budget replay emit no_shrink list_oracles =
+    if list_oracles then begin
+      List.iter
+        (fun (o : Fuzz.Oracle.t) ->
+          Format.printf "%-18s %s@." o.Fuzz.Oracle.name o.Fuzz.Oracle.theorem)
+        Fuzz.Oracle.registry;
+      0
+    end
+    else
+      match (replay, emit) with
+      | Some line, _ -> (
+          match Fuzz.Replay.replay line with
+          | Error e ->
+              Format.eprintf "error: %s@." e;
+              1
+          | Ok (case, results) ->
+              Format.printf "replaying %s@." (Fuzz.Replay.to_string case);
+              print_string (Fuzz.Report.render_outcomes results);
+              if Fuzz.Oracle.failures results = [] then 0 else 1)
+      | None, Some s ->
+          (* print the serialized case a seed generates, for hand editing *)
+          print_endline (Fuzz.Replay.to_string (Fuzz.Gen.generate ~seed:s));
+          0
+      | None, None ->
+          let time_budget = if time_budget > 0.0 then Some time_budget else None in
+          let outcome =
+            Fuzz.Campaign.run ~shrink:(not no_shrink) ?time_budget ~cases ~seed ()
+          in
+          print_string (Fuzz.Report.render outcome);
+          if outcome.Fuzz.Campaign.cp_failures = [] then 0 else 1
+  in
+  let cases =
+    Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc:"Number of cases to run.")
+  in
+  let time_budget =
+    Arg.(
+      value & opt float 0.0
+      & info [ "time-budget" ] ~docv:"SECS"
+          ~doc:"Stop the campaign after this much CPU time (0 = no budget).")
+  in
+  let replay =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"CASE" ~doc:"Re-run one serialized case and re-check it.")
+  in
+  let emit =
+    Arg.(
+      value & opt (some int) None
+      & info [ "emit" ] ~docv:"SEED" ~doc:"Print the case a seed generates, then exit.")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures without shrinking them.")
+  in
+  let list_oracles =
+    Arg.(value & flag & info [ "oracles" ] ~doc:"List the theorem oracles, then exit.")
+  in
+  let term =
+    Term.(const run $ cases $ seed_arg $ time_budget $ replay $ emit $ no_shrink $ list_oracles)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based adversarial fuzzing: random schedulers and fault vectors \
+          checked against the paper's theorem oracles, with shrinking and \
+          deterministic replay.")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "laboratory for the Asynchronous Bounded-Cycle model reproduction" in
@@ -327,4 +398,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ cmd_check; cmd_threshold; cmd_assign; cmd_simulate; cmd_consensus; cmd_detect; cmd_omega ]))
+          [ cmd_check; cmd_threshold; cmd_assign; cmd_simulate; cmd_consensus; cmd_detect; cmd_omega; cmd_fuzz ]))

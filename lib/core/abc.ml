@@ -100,6 +100,22 @@ let max_relevant_ratio g =
     end
   end
 
+(** A Ξ for which [g] is provably admissible: [fallback] when [g] is
+    already admissible for it, otherwise a rational just above the
+    exact threshold.  The fuzz oracles use this to instantiate theorem
+    hypotheses ("for every Ξ the execution is admissible for…") on
+    executions produced by schedulers with no a-priori Θ bound. *)
+let admissible_xi g ~fallback =
+  if Rat.compare fallback Rat.one <= 0 then
+    invalid_arg "Abc.admissible_xi: need fallback > 1";
+  if Abc_check.is_admissible g ~xi:fallback then fallback
+  else
+  match max_relevant_ratio g with
+  | None -> fallback
+  | Some r ->
+      if Rat.compare fallback r > 0 then fallback
+      else Rat.add r (Rat.of_ints 1 8)
+
 (** Convenience: smallest Ξ (exclusive bound) for which [g] is
     admissible, as a printable string. *)
 let admissibility_threshold g =

@@ -27,5 +27,12 @@ val max_relevant_ratio : Execgraph.Graph.t -> Rat.t option
     means every relevant cycle has ratio ≤ 1 (or there is none), i.e.
     admissible for {e every} Ξ > 1. *)
 
+val admissible_xi : Execgraph.Graph.t -> fallback:Rat.t -> Rat.t
+(** A Ξ for which the graph is guaranteed admissible: [fallback] if the
+    graph is admissible for it already, otherwise a rational just above
+    {!max_relevant_ratio}.  Used by theorem oracles to instantiate
+    "admissible for Ξ ⇒ …" hypotheses on arbitrary executions.
+    @raise Invalid_argument unless [fallback > 1]. *)
+
 val admissibility_threshold : Execgraph.Graph.t -> string
 (** {!max_relevant_ratio}, rendered for reports. *)

@@ -1,0 +1,37 @@
+(** Campaign driver: generate, run, check, shrink, accumulate.
+    Deterministic in [(seed, cases, oracles)] unless a wall-time budget
+    cuts a smoke run short. *)
+
+type failure = {
+  fl_oracle : string;
+  fl_detail : string;
+  fl_case : Gen.case;
+  fl_shrunk : Shrink.result option;  (** [None] when shrinking is off *)
+}
+
+type oracle_stat = { os_pass : int; os_skip : int; os_fail : int }
+
+type outcome = {
+  cp_seed : int;
+  cp_cases_requested : int;
+  cp_cases_run : int;  (** < requested only under a time budget *)
+  cp_families : (string * int) list;  (** scheduler family -> cases *)
+  cp_workloads : (string * int) list;
+  cp_stats : (string * oracle_stat) list;  (** registry order *)
+  cp_failures : failure list;
+}
+
+val case_seed : seed:int -> int -> int
+(** The per-case seed mixed from the base seed and the case index. *)
+
+val run :
+  ?oracles:Oracle.t list ->
+  ?shrink:bool ->
+  ?time_budget:float ->
+  ?cases:int ->
+  seed:int ->
+  unit ->
+  outcome
+(** Run up to [cases] (default 100) generated cases; stop early if the
+    optional [time_budget] (seconds of CPU time) is exceeded.  Failures
+    are shrunk unless [shrink:false]. *)

@@ -1,0 +1,367 @@
+(** Fuzz-case generation and execution.
+
+    A {!case} is a fully serializable description of one adversarial
+    simulation: process count, fault vector, synchrony parameter Ξ, a
+    scheduler drawn from the full palette of {!Sim} (including the
+    oracle-guided deferring adversary), a workload (which of the
+    paper's algorithms runs), and an event budget.  Every random choice
+    is derived from the single [c_seed], so a case replays bit-for-bit
+    from its one-line serialization ({!Replay}).
+
+    The generator maintains the structural invariants the paper's
+    theorems assume — [n ≥ 3f + 1], Ξ > 1, and for Θ schedulers
+    [Ξ > τ+/τ−] so that Theorem 6 applies unconditionally. *)
+
+open Core
+
+let q = Rat.of_ints
+
+(** Scheduler family, with every parameter needed to rebuild it. *)
+type sched_spec =
+  | S_theta of { tau_minus : Rat.t; tau_plus : Rat.t }
+      (** Θ-Model: delays in [[τ−, τ+]]; Theorem 6 territory *)
+  | S_async of { max_delay : Rat.t }  (** fully asynchronous, zero allowed *)
+  | S_growing of {
+      nclusters : int;
+      intra_min : Rat.t;
+      intra_max : Rat.t;
+      inter_base : Rat.t;
+      growth_rate : Rat.t;
+    }  (** Fig. 9 spacecraft formation: unbounded inter-cluster delays *)
+  | S_eventually_theta of {
+      gst : Rat.t;
+      chaos_max : Rat.t;
+      tau_minus : Rat.t;
+      tau_plus : Rat.t;
+    }  (** §6 ◇-model: chaos before GST, Θ after *)
+  | S_targeted of {
+      tau_minus : Rat.t;
+      tau_plus : Rat.t;
+      victim_sender : int;
+      victim_dst : int;
+      stretch : Rat.t;
+    }  (** Θ plus one stretched link (Fig. 1 / §5.2 isolated slow chain) *)
+  | S_deferring of { victim_sender : int; victim_dst : int }
+      (** the adaptive adversary of {!Sim.run_deferring}: defers the
+          victim link to the exact ABC admissibility boundary *)
+
+type workload =
+  | W_clock  (** Algorithm 1: Byzantine clock synchronization *)
+  | W_lockstep  (** Algorithm 2 over the no-op round algorithm *)
+  | W_consensus  (** EIG Byzantine consensus over lock-step rounds *)
+
+type case = {
+  c_seed : int;  (** seeds the scheduler RNG and the consensus inputs *)
+  c_nprocs : int;
+  c_faults : Sim.fault array;
+  c_xi : Rat.t;  (** the protocol-level Ξ (> 1; > τ+/τ− for Θ cases) *)
+  c_sched : sched_spec;
+  c_workload : workload;
+  c_max_events : int;  (** receive-event budget (≥ nprocs) *)
+}
+
+let family_name = function
+  | S_theta _ -> "theta"
+  | S_async _ -> "async"
+  | S_growing _ -> "growing"
+  | S_eventually_theta _ -> "etheta"
+  | S_targeted _ -> "targeted"
+  | S_deferring _ -> "defer"
+
+let workload_name = function
+  | W_clock -> "clock"
+  | W_lockstep -> "lockstep"
+  | W_consensus -> "eig"
+
+let nfaulty c =
+  Array.fold_left (fun a f -> if f = Sim.Correct then a else a + 1) 0 c.c_faults
+
+let correct_procs c =
+  List.filter (fun p -> c.c_faults.(p) = Sim.Correct) (List.init c.c_nprocs Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Validation: the invariants every case (generated or parsed from a
+   repro line) must satisfy before it can run. *)
+
+let validate c =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let f = nfaulty c in
+  if c.c_nprocs < 2 then err "need at least 2 processes"
+  else if Array.length c.c_faults <> c.c_nprocs then err "fault vector size mismatch"
+  else if c.c_nprocs < (3 * f) + 1 then
+    err "need n >= 3f + 1 (n = %d, f = %d)" c.c_nprocs f
+  else if Rat.compare c.c_xi Rat.one <= 0 then err "need Xi > 1"
+  else if c.c_max_events < c.c_nprocs then err "event budget below nprocs"
+  else
+    let proc_ok p = p >= 0 && p < c.c_nprocs in
+    let pos x = Rat.sign x > 0 in
+    let nonneg x = Rat.sign x >= 0 in
+    match c.c_sched with
+    | S_theta { tau_minus; tau_plus } ->
+        if not (pos tau_minus && Rat.compare tau_minus tau_plus <= 0) then
+          err "theta: need 0 < tau- <= tau+"
+        else if Rat.compare c.c_xi (Rat.div tau_plus tau_minus) <= 0 then
+          err "theta: need Xi > tau+/tau- (Theorem 6)"
+        else Ok c
+    | S_async { max_delay } ->
+        if nonneg max_delay then Ok c else err "async: negative max delay"
+    | S_growing { nclusters; intra_min; intra_max; inter_base; growth_rate } ->
+        if nclusters < 1 then err "growing: need >= 1 cluster"
+        else if
+          not
+            (pos intra_min
+            && Rat.compare intra_min intra_max <= 0
+            && nonneg inter_base && nonneg growth_rate)
+        then err "growing: bad delay parameters"
+        else Ok c
+    | S_eventually_theta { gst; chaos_max; tau_minus; tau_plus } ->
+        if not (nonneg gst && nonneg chaos_max) then err "etheta: negative gst/chaos"
+        else if not (pos tau_minus && Rat.compare tau_minus tau_plus <= 0) then
+          err "etheta: need 0 < tau- <= tau+"
+        else Ok c
+    | S_targeted { tau_minus; tau_plus; victim_sender; victim_dst; stretch } ->
+        if not (pos tau_minus && Rat.compare tau_minus tau_plus <= 0) then
+          err "targeted: need 0 < tau- <= tau+"
+        else if not (proc_ok victim_sender && proc_ok victim_dst) then
+          err "targeted: victim out of range"
+        else if not (pos stretch) then err "targeted: need stretch > 0"
+        else Ok c
+    | S_deferring { victim_sender; victim_dst } ->
+        if not (proc_ok victim_sender && proc_ok victim_dst) then
+          err "defer: victim out of range"
+        else if c.c_workload = W_consensus then
+          err "defer: not paired with the eig workload (cost)"
+        else Ok c
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+let generate ~seed =
+  let st = Random.State.make [| 0xF0552; seed |] in
+  let pick arr = arr.(Random.State.int st (Array.length arr)) in
+  let sched_kind = Random.State.int st 6 in
+  let workload =
+    (* the deferring adversary re-checks admissibility per delivery
+       (quadratic), so it never carries the heavy consensus workload *)
+    if sched_kind = 5 then pick [| W_clock; W_clock; W_lockstep |]
+    else pick [| W_clock; W_clock; W_clock; W_lockstep; W_lockstep; W_consensus |]
+  in
+  let nprocs, fmax =
+    match workload with
+    | W_consensus -> (4 + Random.State.int st 2, 1)
+    | W_clock | W_lockstep ->
+        let n = 4 + Random.State.int st 5 in
+        (n, min 2 ((n - 1) / 3))
+  in
+  let f = Random.State.int st (fmax + 1) in
+  let faults = Array.make nprocs Sim.Correct in
+  for i = 0 to f - 1 do
+    faults.(nprocs - 1 - i) <-
+      (if Random.State.bool st then Sim.Byzantine
+       else Sim.Crash (1 + Random.State.int st 8))
+  done;
+  let margin = pick [| q 1 4; q 1 2; q 1 1 |] in
+  let xi_palette () = Rat.add (pick [| q 3 2; q 2 1; q 5 2; q 3 1 |]) margin in
+  let victim () =
+    let s = Random.State.int st nprocs in
+    (s, (s + 1 + Random.State.int st (nprocs - 1)) mod nprocs)
+  in
+  let sched, xi =
+    match sched_kind with
+    | 0 ->
+        let tau_minus = pick [| q 1 2; q 1 1; q 2 1 |] in
+        let ratio = pick [| q 3 2; q 2 1; q 3 1 |] in
+        ( S_theta { tau_minus; tau_plus = Rat.mul tau_minus ratio },
+          Rat.add ratio margin )
+    | 1 -> (S_async { max_delay = pick [| q 3 1; q 8 1; q 20 1 |] }, xi_palette ())
+    | 2 ->
+        ( S_growing
+            {
+              nclusters = 2 + Random.State.int st 2;
+              intra_min = q 1 1;
+              intra_max = q 2 1;
+              inter_base = pick [| q 3 1; q 5 1 |];
+              growth_rate = pick [| q 1 2; q 2 1 |];
+            },
+          xi_palette () )
+    | 3 ->
+        ( S_eventually_theta
+            {
+              gst = pick [| Rat.zero; q 5 1; q 15 1 |];
+              chaos_max = pick [| q 10 1; q 40 1 |];
+              tau_minus = q 1 1;
+              tau_plus = q 2 1;
+            },
+          xi_palette () )
+    | 4 ->
+        let victim_sender, victim_dst = victim () in
+        ( S_targeted
+            {
+              tau_minus = q 1 1;
+              tau_plus = q 2 1;
+              victim_sender;
+              victim_dst;
+              stretch = pick [| q 5 1; q 12 1; q 25 1 |];
+            },
+          xi_palette () )
+    | _ ->
+        let victim_sender, victim_dst = victim () in
+        (S_deferring { victim_sender; victim_dst }, xi_palette ())
+  in
+  let deferring = match sched with S_deferring _ -> true | _ -> false in
+  let max_events =
+    match workload with
+    | W_clock -> (
+        if deferring then 70 + Random.State.int st 30
+        else
+          match sched with
+          | S_theta _ ->
+              (* Theorems 2-4 and Lemma 4 are checked in full on Θ
+                 executions, so scale the budget with ϱ = ⌈4Ξ+1⌉: a
+                 clock increment costs ≈ n² events, and Theorem 4 only
+                 bites once some process performs ϱ of them. *)
+              let rho =
+                Rat.ceil_int (Rat.add (Rat.mul (Rat.of_int 4) xi) Rat.one)
+              in
+              (nprocs * nprocs * (rho + 2)) + Random.State.int st 80
+          | _ -> 120 + (12 * nprocs) + Random.State.int st 80)
+    | W_lockstep ->
+        if deferring then 90 + Random.State.int st 40
+        else 300 + Random.State.int st 250
+    | W_consensus -> 2500 + (700 * f)
+  in
+  let case =
+    {
+      c_seed = 1 + Random.State.int st 0x3FFFFFFF;
+      c_nprocs = nprocs;
+      c_faults = faults;
+      c_xi = xi;
+      c_sched = sched;
+      c_workload = workload;
+      c_max_events = max_events;
+    }
+  in
+  match validate case with
+  | Ok c -> c
+  | Error e ->
+      (* the generator keeps every invariant by construction *)
+      invalid_arg (Printf.sprintf "Fuzz.Gen.generate: internal invariant: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+(** Result of running a case, tagged by workload (the three workloads
+    have different state types). *)
+type run =
+  | R_clock of (Clock_sync.state, Clock_sync.msg) Sim.result
+  | R_lockstep of ((unit, unit) Lockstep.state, unit Lockstep.msg) Sim.result
+  | R_consensus of
+      ( (Consensus.Eig.state, Consensus.Eig.msg) Lockstep.state,
+        Consensus.Eig.msg Lockstep.msg )
+      Sim.result
+      * int array  (** the per-process input values *)
+
+let graph_of_run = function
+  | R_clock r -> r.Sim.graph
+  | R_lockstep r -> r.Sim.graph
+  | R_consensus (r, _) -> r.Sim.graph
+
+let delivered_of_run = function
+  | R_clock r -> r.Sim.delivered
+  | R_lockstep r -> r.Sim.delivered
+  | R_consensus (r, _) -> r.Sim.delivered
+
+(* A scheduler for the case's spec.  Polymorphic in the payload (all
+   palette schedulers ignore it); for the deferring adversary the
+   returned scheduler is a placeholder — [run_deferring] ignores it. *)
+let scheduler_of_spec ~rng spec =
+  match spec with
+  | S_theta { tau_minus; tau_plus } -> Sim.theta_scheduler ~rng ~tau_minus ~tau_plus ()
+  | S_async { max_delay } -> Sim.async_scheduler ~rng ~max_delay ()
+  | S_growing { nclusters; intra_min; intra_max; inter_base; growth_rate } ->
+      Sim.growing_scheduler ~rng
+        ~cluster_of:(fun p -> p mod nclusters)
+        ~intra_min ~intra_max ~inter_base ~growth_rate ()
+  | S_eventually_theta { gst; chaos_max; tau_minus; tau_plus } ->
+      Sim.eventually_theta_scheduler ~rng ~gst ~chaos_max ~tau_minus ~tau_plus ()
+  | S_targeted { tau_minus; tau_plus; victim_sender; victim_dst; stretch } ->
+      Sim.targeted_scheduler ~rng ~tau_minus ~tau_plus
+        ~victim:(fun ~sender ~dst ~msg_index:_ ->
+          sender = victim_sender && dst = victim_dst)
+        ~stretched:(fun ~send_time:_ -> stretch)
+        ()
+  | S_deferring _ -> Sim.constant_scheduler Rat.one
+
+(** Input value of process [p] in a consensus case: a deterministic
+    function of the case seed, so it needs no extra serialization. *)
+let consensus_input c p = (c.c_seed lsr (p mod 24)) land 1
+
+let run_case (c : case) : run =
+  (match validate c with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Fuzz.Gen.run_case: " ^ e));
+  let n = c.c_nprocs in
+  let f = nfaulty c in
+  let rng = Random.State.make [| 0xD1CE; c.c_seed |] in
+  let exec cfg =
+    match c.c_sched with
+    | S_deferring { victim_sender; victim_dst } ->
+        Sim.run_deferring cfg ~xi:c.c_xi ~victim:(fun ~sender ~dst ->
+            sender = victim_sender && dst = victim_dst)
+    | _ -> Sim.run cfg
+  in
+  match c.c_workload with
+  | W_clock ->
+      let cfg =
+        Sim.make_config
+          ~byzantine:(Clock_sync.byzantine_rusher ~ahead:4)
+          ~nprocs:n
+          ~algorithm:(Clock_sync.algorithm ~f)
+          ~faults:c.c_faults
+          ~scheduler:(scheduler_of_spec ~rng c.c_sched)
+          ~max_events:c.c_max_events ()
+      in
+      R_clock (exec cfg)
+  | W_lockstep ->
+      let cfg =
+        Sim.make_config
+          ~byzantine:(Lockstep.algorithm ~f ~xi:c.c_xi Lockstep.noop_round_algo)
+          ~nprocs:n
+          ~algorithm:(Lockstep.algorithm ~f ~xi:c.c_xi Lockstep.noop_round_algo)
+          ~faults:c.c_faults
+          ~scheduler:(scheduler_of_spec ~rng c.c_sched)
+          ~max_events:c.c_max_events ()
+      in
+      R_lockstep (exec cfg)
+  | W_consensus ->
+      let inputs = Array.init n (consensus_input c) in
+      let algo = Consensus.Eig.algo ~f ~value:(fun p -> inputs.(p)) in
+      let byz =
+        (* two-faced liar over lock-step, as in the CLI's consensus demo *)
+        let real = Consensus.Eig.algo ~f ~value:(fun _ -> 0) in
+        Lockstep.algorithm ~f ~xi:c.c_xi
+          {
+            Lockstep.r_init =
+              (fun ~self ~nprocs ->
+                let st, _ = real.Lockstep.r_init ~self ~nprocs in
+                (st, [ ([], 0) ]));
+            r_step =
+              (fun ~self ~nprocs ~round st _ ->
+                (st, List.init round (fun i -> ([ (self + i) mod nprocs ], i mod 2))));
+          }
+      in
+      let correct = correct_procs c in
+      let cfg =
+        Sim.make_config ~byzantine:byz ~nprocs:n
+          ~algorithm:(Lockstep.algorithm ~f ~xi:c.c_xi algo)
+          ~faults:c.c_faults
+          ~scheduler:(scheduler_of_spec ~rng c.c_sched)
+          ~max_events:c.c_max_events
+          ~stop_when:(fun states ->
+            List.for_all
+              (fun p ->
+                Consensus.Eig.decision (Lockstep.round_state states.(p)) <> None)
+              correct)
+          ()
+      in
+      R_consensus (exec cfg, inputs)

@@ -1,0 +1,88 @@
+(** Fuzz-case generation and execution.
+
+    A {!case} is a fully serializable adversarial simulation: process
+    count, fault vector, Ξ, a scheduler from the full {!Sim} palette
+    (including the deferring adversary), a workload, and an event
+    budget.  All randomness derives from the single [c_seed], so a case
+    replays bit-for-bit from its one-line form (see {!Replay}). *)
+
+type sched_spec =
+  | S_theta of { tau_minus : Rat.t; tau_plus : Rat.t }
+  | S_async of { max_delay : Rat.t }
+  | S_growing of {
+      nclusters : int;
+      intra_min : Rat.t;
+      intra_max : Rat.t;
+      inter_base : Rat.t;
+      growth_rate : Rat.t;
+    }
+  | S_eventually_theta of {
+      gst : Rat.t;
+      chaos_max : Rat.t;
+      tau_minus : Rat.t;
+      tau_plus : Rat.t;
+    }
+  | S_targeted of {
+      tau_minus : Rat.t;
+      tau_plus : Rat.t;
+      victim_sender : int;
+      victim_dst : int;
+      stretch : Rat.t;
+    }
+  | S_deferring of { victim_sender : int; victim_dst : int }
+
+type workload = W_clock | W_lockstep | W_consensus
+
+type case = {
+  c_seed : int;
+  c_nprocs : int;
+  c_faults : Sim.fault array;
+  c_xi : Rat.t;
+  c_sched : sched_spec;
+  c_workload : workload;
+  c_max_events : int;
+}
+
+val family_name : sched_spec -> string
+(** ["theta"], ["async"], ["growing"], ["etheta"], ["targeted"] or
+    ["defer"]. *)
+
+val workload_name : workload -> string
+(** ["clock"], ["lockstep"] or ["eig"]. *)
+
+val nfaulty : case -> int
+val correct_procs : case -> int list
+
+val validate : case -> (case, string) result
+(** Check every structural invariant the theorem oracles rely on:
+    [n ≥ 3f + 1], [Ξ > 1], [Ξ > τ+/τ−] for Θ cases, victim indices in
+    range, budget ≥ nprocs, … *)
+
+val generate : seed:int -> case
+(** Deterministic: equal seeds produce equal cases.  Generated cases
+    always satisfy {!validate}. *)
+
+(** A finished run, tagged by workload. *)
+type run =
+  | R_clock of (Core.Clock_sync.state, Core.Clock_sync.msg) Sim.result
+  | R_lockstep of
+      ((unit, unit) Core.Lockstep.state, unit Core.Lockstep.msg) Sim.result
+  | R_consensus of
+      ( (Core.Consensus.Eig.state, Core.Consensus.Eig.msg) Core.Lockstep.state,
+        Core.Consensus.Eig.msg Core.Lockstep.msg )
+      Sim.result
+      * int array  (** the per-process consensus inputs *)
+
+val graph_of_run : run -> Execgraph.Graph.t
+(** The faithful execution graph of the run. *)
+
+val delivered_of_run : run -> int
+
+val consensus_input : case -> int -> int
+(** Input value of a process in a consensus case (a pure function of
+    the case seed — no extra serialization needed). *)
+
+val run_case : case -> run
+(** Execute the case ({!Sim.run}, or {!Sim.run_deferring} for
+    [S_deferring]).  Deterministic.  @raise Invalid_argument if the
+    case does not {!validate}. *)

@@ -1,0 +1,44 @@
+(** Theorem oracles: the paper's quantitative claims as executable
+    checks over a finished fuzz run.  Oracles {e skip} (rather than
+    pass) when their theorem's hypothesis does not hold for the case,
+    so reports distinguish vacuous from real coverage. *)
+
+type outcome = Pass | Skip of string | Fail of string
+
+(** Per-case evaluation context, shared so expensive analyses (the
+    exact admissibility threshold behind [xi_eff]) run at most once. *)
+type ctx = {
+  case : Gen.case;
+  run : Gen.run;
+  graph : Execgraph.Graph.t;  (** faithful execution graph *)
+  xi_eff : Rat.t Lazy.t;
+      (** a Ξ the execution is provably admissible for, via
+          {!Core.Abc.admissible_xi} *)
+}
+
+type t = {
+  name : string;
+  theorem : string;  (** the claim of the paper being checked *)
+  check : ctx -> outcome;
+}
+
+val make_ctx : Gen.case -> Gen.run -> ctx
+
+val registry : t list
+(** The default oracles: Θ/deferring admissibility (Thm 6, Def 4),
+    clock progress (Thm 1), precision on consistent and real-time cuts
+    (Thms 2-3), causal cone (Lemma 4), bounded progress (Thm 4),
+    lock-step rounds (Thm 5), EIG consensus agreement + validity, and
+    delay-assignment existence with [1 < τ(e) < Ξ] on the full graph
+    and its half prefix (Thm 7). *)
+
+val evaluate : t list -> Gen.case -> (string * outcome) list
+(** Run the case once, apply every oracle.  Results start with the
+    pseudo-oracle ["no-crash"], which fails iff the simulation or an
+    oracle raised. *)
+
+val oracle_names : t list -> string list
+(** The names {!evaluate} can report, in report order. *)
+
+val failures : (string * outcome) list -> (string * string) list
+(** The [(oracle, detail)] pairs of failing outcomes. *)

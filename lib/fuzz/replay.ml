@@ -1,0 +1,158 @@
+(** One-line, versioned serialization of fuzz cases, and deterministic
+    replay.
+
+    The wire form is a single `;`-separated line of `key=value` fields,
+
+    {[ abc1;s=317;n=5;f=C,C,C,C,B;xi=5/2;w=clock;d=theta:1:2;e=260 ]}
+
+    with rationals in {!Rat.to_string} form (`a/b` or `a`), faults via
+    {!Sim.fault_to_string}, and scheduler parameters `:`-separated.
+    [of_string (to_string c) = c] exactly, and replaying a line reruns
+    the identical execution ({!Gen.run_case} is deterministic). *)
+
+let version = "abc1"
+
+let string_of_sched (s : Gen.sched_spec) =
+  let r = Rat.to_string in
+  match s with
+  | Gen.S_theta { tau_minus; tau_plus } ->
+      Printf.sprintf "theta:%s:%s" (r tau_minus) (r tau_plus)
+  | Gen.S_async { max_delay } -> Printf.sprintf "async:%s" (r max_delay)
+  | Gen.S_growing { nclusters; intra_min; intra_max; inter_base; growth_rate } ->
+      Printf.sprintf "growing:%d:%s:%s:%s:%s" nclusters (r intra_min) (r intra_max)
+        (r inter_base) (r growth_rate)
+  | Gen.S_eventually_theta { gst; chaos_max; tau_minus; tau_plus } ->
+      Printf.sprintf "etheta:%s:%s:%s:%s" (r gst) (r chaos_max) (r tau_minus)
+        (r tau_plus)
+  | Gen.S_targeted { tau_minus; tau_plus; victim_sender; victim_dst; stretch } ->
+      Printf.sprintf "targeted:%s:%s:%d:%d:%s" (r tau_minus) (r tau_plus) victim_sender
+        victim_dst (r stretch)
+  | Gen.S_deferring { victim_sender; victim_dst } ->
+      Printf.sprintf "defer:%d:%d" victim_sender victim_dst
+
+let to_string (c : Gen.case) =
+  Printf.sprintf "%s;s=%d;n=%d;f=%s;xi=%s;w=%s;d=%s;e=%d" version c.Gen.c_seed
+    c.Gen.c_nprocs
+    (String.concat "," (Array.to_list (Array.map Sim.fault_to_string c.Gen.c_faults)))
+    (Rat.to_string c.Gen.c_xi)
+    (Gen.workload_name c.Gen.c_workload)
+    (string_of_sched c.Gen.c_sched)
+    c.Gen.c_max_events
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let ( let* ) = Result.bind
+
+let int_field k v =
+  match int_of_string_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %s: not an integer: %S" k v)
+
+let rat_field k v =
+  match Rat.of_string v with
+  | r -> Ok r
+  | exception _ -> Error (Printf.sprintf "field %s: not a rational: %S" k v)
+
+let sched_of_string s =
+  let parts = String.split_on_char ':' s in
+  let ri k v = int_field k v and rr k v = rat_field k v in
+  match parts with
+  | [ "theta"; tm; tp ] ->
+      let* tau_minus = rr "d.tau-" tm in
+      let* tau_plus = rr "d.tau+" tp in
+      Ok (Gen.S_theta { tau_minus; tau_plus })
+  | [ "async"; md ] ->
+      let* max_delay = rr "d.max" md in
+      Ok (Gen.S_async { max_delay })
+  | [ "growing"; nc; imin; imax; base; rate ] ->
+      let* nclusters = ri "d.clusters" nc in
+      let* intra_min = rr "d.intra-" imin in
+      let* intra_max = rr "d.intra+" imax in
+      let* inter_base = rr "d.base" base in
+      let* growth_rate = rr "d.rate" rate in
+      Ok (Gen.S_growing { nclusters; intra_min; intra_max; inter_base; growth_rate })
+  | [ "etheta"; gst; chaos; tm; tp ] ->
+      let* gst = rr "d.gst" gst in
+      let* chaos_max = rr "d.chaos" chaos in
+      let* tau_minus = rr "d.tau-" tm in
+      let* tau_plus = rr "d.tau+" tp in
+      Ok (Gen.S_eventually_theta { gst; chaos_max; tau_minus; tau_plus })
+  | [ "targeted"; tm; tp; vs; vd; st ] ->
+      let* tau_minus = rr "d.tau-" tm in
+      let* tau_plus = rr "d.tau+" tp in
+      let* victim_sender = ri "d.victim-sender" vs in
+      let* victim_dst = ri "d.victim-dst" vd in
+      let* stretch = rr "d.stretch" st in
+      Ok (Gen.S_targeted { tau_minus; tau_plus; victim_sender; victim_dst; stretch })
+  | [ "defer"; vs; vd ] ->
+      let* victim_sender = ri "d.victim-sender" vs in
+      let* victim_dst = ri "d.victim-dst" vd in
+      Ok (Gen.S_deferring { victim_sender; victim_dst })
+  | _ -> Error (Printf.sprintf "unknown scheduler spec %S" s)
+
+let workload_of_string = function
+  | "clock" -> Ok Gen.W_clock
+  | "lockstep" -> Ok Gen.W_lockstep
+  | "eig" -> Ok Gen.W_consensus
+  | w -> Error (Printf.sprintf "unknown workload %S" w)
+
+let faults_of_string s =
+  let toks = if s = "" then [] else String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | t :: rest -> (
+        match Sim.fault_of_string t with
+        | Some f -> go (f :: acc) rest
+        | None -> Error (Printf.sprintf "field f: bad fault %S" t))
+  in
+  go [] toks
+
+let of_string line =
+  let line = String.trim line in
+  match String.split_on_char ';' line with
+  | v :: fields when v = version ->
+      let* kvs =
+        List.fold_left
+          (fun acc field ->
+            let* acc = acc in
+            match String.index_opt field '=' with
+            | Some i ->
+                Ok
+                  ((String.sub field 0 i,
+                    String.sub field (i + 1) (String.length field - i - 1))
+                  :: acc)
+            | None -> Error (Printf.sprintf "malformed field %S" field))
+          (Ok []) fields
+      in
+      let find k =
+        match List.assoc_opt k kvs with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "missing field %s" k)
+      in
+      let* s = find "s" in
+      let* c_seed = int_field "s" s in
+      let* n = find "n" in
+      let* c_nprocs = int_field "n" n in
+      let* f = find "f" in
+      let* c_faults = faults_of_string f in
+      let* xi = find "xi" in
+      let* c_xi = rat_field "xi" xi in
+      let* w = find "w" in
+      let* c_workload = workload_of_string w in
+      let* d = find "d" in
+      let* c_sched = sched_of_string d in
+      let* e = find "e" in
+      let* c_max_events = int_field "e" e in
+      Gen.validate
+        { Gen.c_seed; c_nprocs; c_faults; c_xi; c_sched; c_workload; c_max_events }
+  | v :: _ -> Error (Printf.sprintf "unknown case format %S (expected %s)" v version)
+  | [] -> Error "empty case"
+
+let repro_command c = Printf.sprintf "abc fuzz --replay '%s'" (to_string c)
+
+(** Parse and re-run a serialized case against [oracles]; the failing
+    outcomes are exactly those of the original run (determinism). *)
+let replay ?(oracles = Oracle.registry) line =
+  let* case = of_string line in
+  Ok (case, Oracle.evaluate oracles case)

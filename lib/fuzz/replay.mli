@@ -1,0 +1,20 @@
+(** One-line, versioned serialization of fuzz cases, and deterministic
+    replay: [of_string (to_string c) = Ok c], and replaying re-runs the
+    bit-identical execution. *)
+
+val to_string : Gen.case -> string
+(** E.g. [abc1;s=317;n=5;f=C,C,C,C,B;xi=5/2;w=clock;d=theta:1:2;e=260]. *)
+
+val of_string : string -> (Gen.case, string) result
+(** Parse and {!Gen.validate}.  Total: malformed input yields
+    [Error _], never an exception. *)
+
+val repro_command : Gen.case -> string
+(** The CLI one-liner reproducing the case: [abc fuzz --replay '…']. *)
+
+val replay :
+  ?oracles:Oracle.t list ->
+  string ->
+  (Gen.case * (string * Oracle.outcome) list, string) result
+(** Parse, re-run, re-check.  A failing case fails again, with the same
+    oracle outcomes. *)

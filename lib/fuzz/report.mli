@@ -1,0 +1,10 @@
+(** Campaign reports: pure, deterministic rendering of campaign
+    outcomes and replay results. *)
+
+val render : Campaign.outcome -> string
+(** Full campaign report: coverage by scheduler family and workload,
+    per-oracle pass/skip/fail table, and for every violation the
+    original and shrunk cases with their one-line repro commands. *)
+
+val render_outcomes : (string * Oracle.outcome) list -> string
+(** One line per oracle outcome, for [abc fuzz --replay]. *)

@@ -1,0 +1,145 @@
+(** Greedy counterexample shrinking.
+
+    Given a case failing some oracle, repeatedly try "smaller" variants
+    — fewer events, fewer processes, milder faults, tamer schedulers —
+    keeping a variant iff the {e same} oracle still fails on it, until
+    no candidate fails (a local minimum) or the evaluation budget runs
+    out.  All candidates go through {!Gen.validate}, so shrinking never
+    leaves the space of well-formed cases. *)
+
+let dedup_cases l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | c :: rest -> if List.mem c acc then go acc rest else go (c :: acc) rest
+  in
+  go [] l
+
+(* Candidate list, most aggressive reductions first. *)
+let candidates (c : Gen.case) : Gen.case list =
+  let ev = c.Gen.c_max_events in
+  let n = c.Gen.c_nprocs in
+  let event_cands =
+    List.filter_map
+      (fun e -> if e >= max n 2 && e < ev then Some { c with Gen.c_max_events = e } else None)
+      [ ev / 4; ev / 2; 3 * ev / 4; ev - 1 ]
+  in
+  let drop_proc =
+    if n <= 2 then []
+    else
+      let n' = n - 1 in
+      let fix p = if p >= n' then 0 else p in
+      let fix_pair vs vd =
+        let vs = fix vs and vd = fix vd in
+        if vs = vd then (vs, (vs + 1) mod n') else (vs, vd)
+      in
+      let sched =
+        match c.Gen.c_sched with
+        | Gen.S_targeted t ->
+            let victim_sender, victim_dst = fix_pair t.victim_sender t.victim_dst in
+            Gen.S_targeted { t with victim_sender; victim_dst }
+        | Gen.S_deferring { victim_sender; victim_dst } ->
+            let victim_sender, victim_dst = fix_pair victim_sender victim_dst in
+            Gen.S_deferring { victim_sender; victim_dst }
+        | s -> s
+      in
+      [
+        {
+          c with
+          Gen.c_nprocs = n';
+          c_faults = Array.sub c.Gen.c_faults 0 n';
+          c_sched = sched;
+        };
+      ]
+  in
+  let weaken_faults =
+    match
+      (* the last faulty process, mirroring the generator's layout *)
+      Array.to_list c.Gen.c_faults
+      |> List.mapi (fun i f -> (i, f))
+      |> List.filter (fun (_, f) -> f <> Sim.Correct)
+      |> List.rev
+    with
+    | [] -> []
+    | (i, f) :: _ ->
+        let with_fault g =
+          let faults = Array.copy c.Gen.c_faults in
+          faults.(i) <- g;
+          { c with Gen.c_faults = faults }
+        in
+        (match f with
+        | Sim.Byzantine -> [ with_fault Sim.Correct; with_fault (Sim.Crash 2) ]
+        | Sim.Crash k when k > 1 -> [ with_fault Sim.Correct; with_fault (Sim.Crash (k / 2)) ]
+        | _ -> [ with_fault Sim.Correct ])
+  in
+  let q = Rat.of_ints in
+  let tame_sched =
+    match c.Gen.c_sched with
+    | Gen.S_theta { tau_minus; tau_plus } ->
+        if Rat.equal tau_minus tau_plus then []
+        else [ { c with Gen.c_sched = Gen.S_theta { tau_minus; tau_plus = tau_minus } } ]
+    | Gen.S_async _ ->
+        [ { c with Gen.c_sched = Gen.S_theta { tau_minus = q 1 1; tau_plus = q 2 1 } } ]
+    | Gen.S_growing { intra_min; intra_max; _ } ->
+        [ { c with Gen.c_sched = Gen.S_theta { tau_minus = intra_min; tau_plus = intra_max } } ]
+    | Gen.S_eventually_theta { tau_minus; tau_plus; _ } ->
+        [ { c with Gen.c_sched = Gen.S_theta { tau_minus; tau_plus } } ]
+    | Gen.S_targeted { tau_minus; tau_plus; victim_sender; victim_dst; stretch } ->
+        { c with Gen.c_sched = Gen.S_theta { tau_minus; tau_plus } }
+        ::
+        (if Rat.compare stretch (Rat.mul_int tau_plus 2) > 0 then
+           [
+             {
+               c with
+               Gen.c_sched =
+                 Gen.S_targeted
+                   {
+                     tau_minus;
+                     tau_plus;
+                     victim_sender;
+                     victim_dst;
+                     stretch = Rat.div stretch Rat.two;
+                   };
+             };
+           ]
+         else [])
+    | Gen.S_deferring _ ->
+        [ { c with Gen.c_sched = Gen.S_theta { tau_minus = q 1 1; tau_plus = q 2 1 } } ]
+  in
+  dedup_cases
+    (List.filter
+       (fun c' -> c' <> c && Result.is_ok (Gen.validate c'))
+       (event_cands @ weaken_faults @ drop_proc @ tame_sched))
+
+type result = {
+  shrunk : Gen.case;
+  steps : int;  (** accepted reductions *)
+  evaluations : int;  (** candidate runs spent *)
+}
+
+(** [shrink ~oracles ~oracle c] greedily minimizes [c] while oracle
+    [oracle] keeps failing.  At most [max_evals] candidate executions
+    (default 80) are spent. *)
+let shrink ?(max_evals = 80) ~oracles ~oracle (c0 : Gen.case) : result =
+  let evals = ref 0 in
+  let still_fails c =
+    incr evals;
+    match Oracle.evaluate oracles c with
+    | results ->
+        List.exists
+          (fun (name, o) ->
+            name = oracle && match o with Oracle.Fail _ -> true | _ -> false)
+          results
+    | exception _ -> false
+  in
+  let rec go c steps =
+    if !evals >= max_evals then { shrunk = c; steps; evaluations = !evals }
+    else
+      match
+        List.find_opt
+          (fun c' -> !evals < max_evals && still_fails c')
+          (candidates c)
+      with
+      | Some c' -> go c' (steps + 1)
+      | None -> { shrunk = c; steps; evaluations = !evals }
+  in
+  go c0 0

@@ -1,0 +1,19 @@
+(** Greedy counterexample shrinking: minimize a failing case while the
+    same oracle keeps failing. *)
+
+val candidates : Gen.case -> Gen.case list
+(** Valid "smaller" variants of a case, most aggressive first: fewer
+    events, milder/fewer faults, fewer processes, tamer schedulers.
+    Every candidate satisfies {!Gen.validate}. *)
+
+type result = {
+  shrunk : Gen.case;
+  steps : int;  (** accepted reductions *)
+  evaluations : int;  (** candidate executions spent *)
+}
+
+val shrink :
+  ?max_evals:int -> oracles:Oracle.t list -> oracle:string -> Gen.case -> result
+(** Greedy descent: keep the first candidate on which oracle [oracle]
+    still fails; stop at a local minimum or after [max_evals]
+    (default 80) candidate runs. *)

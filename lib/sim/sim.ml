@@ -49,6 +49,23 @@ type fault =
           (including the wake-up), then stops processing *)
   | Byzantine  (** runs the experiment-supplied byzantine algorithm *)
 
+let fault_to_string = function
+  | Correct -> "C"
+  | Crash k -> "K" ^ string_of_int k
+  | Byzantine -> "B"
+
+let fault_of_string s =
+  match s with
+  | "C" -> Some Correct
+  | "B" -> Some Byzantine
+  | _ when String.length s >= 2 && s.[0] = 'K' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some k when k >= 0 -> Some (Crash k)
+      | _ -> None)
+  | _ -> None
+
+let pp_fault fmt f = Format.pp_print_string fmt (fault_to_string f)
+
 (** Scheduler: assigns a non-negative rational delay to each message.
     [msg_index] is a global dense counter, usable for adversarial
     targeting of individual messages. *)

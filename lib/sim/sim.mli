@@ -42,6 +42,15 @@ type fault =
           (including the wake-up), then stops processing *)
   | Byzantine  (** runs the experiment-supplied byzantine algorithm *)
 
+val fault_to_string : fault -> string
+(** Compact serialization: ["C"], ["K<k>"] (crash after [k] steps) or
+    ["B"] — the wire form used by fuzz-case repro lines. *)
+
+val fault_of_string : string -> fault option
+(** Inverse of {!fault_to_string}; [None] on malformed input. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
 (** Scheduler: assigns a non-negative rational delay to each message.
     [msg_index] is a global dense counter, usable for adversarial
     targeting of individual messages. *)

@@ -1,0 +1,140 @@
+(* Tests for the property-based fuzzer: serialization round-trips,
+   campaign determinism, the bounded smoke campaign the acceptance of
+   the oracles rests on, and shrinking demonstrated against an
+   intentionally broken test-only oracle. *)
+
+open Fuzz
+
+let roundtrip_tests =
+  [
+    Alcotest.test_case "to_string/of_string round-trip, 100 seeds" `Quick (fun () ->
+        for seed = 0 to 99 do
+          let c = Gen.generate ~seed in
+          let line = Replay.to_string c in
+          match Replay.of_string line with
+          | Ok c' ->
+              if c' <> c then
+                Alcotest.failf "seed %d: round-trip changed the case: %s" seed line
+          | Error e -> Alcotest.failf "seed %d: %s does not parse back: %s" seed line e
+        done);
+    Alcotest.test_case "generated cases validate" `Quick (fun () ->
+        for seed = 100 to 199 do
+          match Gen.validate (Gen.generate ~seed) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "seed %d generates an invalid case: %s" seed e
+        done);
+    Alcotest.test_case "of_string is total on malformed input" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Replay.of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "%S should not parse" s)
+          [
+            "";
+            "garbage";
+            "abc9;s=1;n=4;f=C,C,C,C;xi=2;w=clock;d=theta:1:2;e=100";
+            "abc1;s=1;n=4;f=C,C,C;xi=2;w=clock;d=theta:1:2;e=100" (* size *);
+            "abc1;s=1;n=4;f=C,C,C,C;xi=1;w=clock;d=theta:1:2;e=100" (* Xi<=1 *);
+            "abc1;s=1;n=4;f=C,C,C,C;xi=2;w=tea;d=theta:1:2;e=100";
+            "abc1;s=1;n=4;f=C,C,C,C;xi=2;w=clock;d=theta:1;e=100";
+            "abc1;s=1;n=4;f=C,C,C,B;xi=2;w=eig;d=defer:0:1;e=100" (* defer+eig *);
+          ]);
+  ]
+
+let determinism_tests =
+  [
+    Alcotest.test_case "same seed, same report" `Quick (fun () ->
+        let report () =
+          Report.render (Campaign.run ~shrink:false ~cases:10 ~seed:2026 ())
+        in
+        let a = report () and b = report () in
+        Alcotest.(check string) "byte-identical reports" a b);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let report seed =
+          Report.render (Campaign.run ~shrink:false ~cases:5 ~seed ())
+        in
+        Alcotest.(check bool) "distinct case sets" false (report 1 = report 2));
+  ]
+
+let smoke_tests =
+  [
+    Alcotest.test_case "100-case campaign: no violations, >= 4 families" `Slow
+      (fun () ->
+        let o = Campaign.run ~shrink:false ~cases:100 ~seed:1 () in
+        Alcotest.(check int) "all cases ran" 100 o.Campaign.cp_cases_run;
+        (match o.Campaign.cp_failures with
+        | [] -> ()
+        | f :: _ ->
+            Alcotest.failf "oracle %s failed: %s\n  repro: %s" f.Campaign.fl_oracle
+              f.Campaign.fl_detail
+              (Replay.repro_command f.Campaign.fl_case));
+        Alcotest.(check bool)
+          "scheduler diversity" true
+          (List.length o.Campaign.cp_families >= 4);
+        (* every oracle must achieve real (non-vacuous) coverage *)
+        List.iter
+          (fun (name, s) ->
+            if s.Campaign.os_pass = 0 then
+              Alcotest.failf "oracle %s never passed (vacuous coverage)" name)
+          o.Campaign.cp_stats);
+  ]
+
+(* An intentionally broken test-only oracle: fails as soon as the run
+   simulated any event at all, so every case is a counterexample and
+   the shrinker must descend to the structural minimum. *)
+let broken_oracle =
+  {
+    Oracle.name = "test-no-events";
+    theorem = "test-only: no run may simulate any event";
+    check =
+      (fun ctx ->
+        let d = Gen.delivered_of_run ctx.Oracle.run in
+        if d > 0 then Oracle.Fail (Printf.sprintf "%d events simulated" d)
+        else Oracle.Pass);
+  }
+
+let shrink_tests =
+  [
+    Alcotest.test_case "broken oracle shrinks to a tiny case" `Quick (fun () ->
+        let case = Gen.generate ~seed:3 in
+        let results = Oracle.evaluate [ broken_oracle ] case in
+        Alcotest.(check bool)
+          "original case fails" true
+          (List.mem_assoc "test-no-events" (Oracle.failures results));
+        let r =
+          Shrink.shrink ~oracles:[ broken_oracle ] ~oracle:"test-no-events" case
+        in
+        Alcotest.(check bool)
+          "shrunk to <= 6 events" true
+          (r.Shrink.shrunk.Gen.c_max_events <= 6);
+        Alcotest.(check bool)
+          "shrunk to the minimal process count" true
+          (r.Shrink.shrunk.Gen.c_nprocs <= 3);
+        Alcotest.(check int) "no faults left" 0 (Gen.nfaulty r.Shrink.shrunk));
+    Alcotest.test_case "shrunk case replays and re-fails" `Quick (fun () ->
+        let case = Gen.generate ~seed:3 in
+        let r =
+          Shrink.shrink ~oracles:[ broken_oracle ] ~oracle:"test-no-events" case
+        in
+        match Replay.replay ~oracles:[ broken_oracle ] (Replay.to_string r.Shrink.shrunk) with
+        | Error e -> Alcotest.failf "shrunk case does not replay: %s" e
+        | Ok (c, results) ->
+            Alcotest.(check bool) "same case back" true (c = r.Shrink.shrunk);
+            Alcotest.(check bool)
+              "still fails the same oracle" true
+              (List.mem_assoc "test-no-events" (Oracle.failures results)));
+    Alcotest.test_case "candidates are valid and strictly different" `Quick
+      (fun () ->
+        for seed = 0 to 30 do
+          let c = Gen.generate ~seed in
+          List.iter
+            (fun c' ->
+              if c' = c then Alcotest.failf "seed %d: identity candidate" seed;
+              match Gen.validate c' with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "seed %d: invalid candidate: %s" seed e)
+            (Shrink.candidates c)
+        done);
+  ]
+
+let suite = roundtrip_tests @ determinism_tests @ smoke_tests @ shrink_tests

@@ -17,4 +17,5 @@ let () =
       ("sim", Test_sim.suite);
       ("extensions", Test_extensions.suite);
       ("robustness", Test_robustness.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

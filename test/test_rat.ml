@@ -36,7 +36,19 @@ let unit_tests =
         check_str "frac" "3/2" (Rat.of_string "3/2");
         check_str "int" "7" (Rat.of_string "7");
         check_str "decimal" "3/2" (Rat.of_string "1.5");
-        check_str "neg decimal" "-5/4" (Rat.of_string "-1.25"));
+        check_str "neg decimal" "-5/4" (Rat.of_string "-1.25");
+        check_str "unreduced frac" "5/2" (Rat.of_string "10/4");
+        check_str "double negative" "3/2" (Rat.of_string "-6/-4");
+        check_str "bare fraction part" "1/2" (Rat.of_string ".5");
+        check_str "neg bare fraction" "-1/2" (Rat.of_string "-.5");
+        check_str "explicit plus" "3" (Rat.of_string "+3"));
+    Alcotest.test_case "of_string rejected forms" `Quick (fun () ->
+        let rejects s =
+          match Rat.of_string s with
+          | x -> Alcotest.failf "%S parsed to %s" s (Rat.to_string x)
+          | exception (Invalid_argument _ | Division_by_zero) -> ()
+        in
+        List.iter rejects [ ""; "abc"; "1/0"; "1//2"; "1.2.3"; "1/ 2" ]);
     Alcotest.test_case "floor/ceil" `Quick (fun () ->
         Alcotest.(check int) "floor 7/2" 3 (Rat.floor_int (q 7 2));
         Alcotest.(check int) "ceil 7/2" 4 (Rat.ceil_int (q 7 2));

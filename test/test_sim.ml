@@ -128,6 +128,47 @@ let unit_tests =
         List.iter
           (fun t -> Alcotest.(check bool) "integral times" true (Rat.is_integer t))
           times);
+    Alcotest.test_case "make_config rejects a wrong-sized fault vector" `Quick
+      (fun () ->
+        Alcotest.check_raises "size mismatch"
+          (Invalid_argument "Sim.make_config: faults size") (fun () ->
+            ignore
+              (Sim.make_config ~nprocs:3 ~algorithm:echo
+                 ~faults:(Array.make 4 Sim.Correct)
+                 ~scheduler:(Sim.constant_scheduler (q 1 1))
+                 ~max_events:10 ())));
+    Alcotest.test_case "make_config rejects Byzantine without a byz algorithm"
+      `Quick (fun () ->
+        Alcotest.check_raises "missing byzantine"
+          (Invalid_argument
+             "Sim.make_config: Byzantine faults require a byzantine algorithm")
+          (fun () ->
+            ignore
+              (Sim.make_config ~nprocs:4 ~algorithm:echo
+                 ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |]
+                 ~scheduler:(Sim.constant_scheduler (q 1 1))
+                 ~max_events:10 ())));
+    Alcotest.test_case "make_config accepts Byzantine with a byz algorithm" `Quick
+      (fun () ->
+        let cfg =
+          Sim.make_config ~byzantine:echo ~nprocs:4 ~algorithm:echo
+            ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |]
+            ~scheduler:(Sim.constant_scheduler (q 1 1))
+            ~max_events:50 ()
+        in
+        ignore (Sim.run cfg));
+    Alcotest.test_case "fault round-trips through fault_of_string" `Quick
+      (fun () ->
+        List.iter
+          (fun f ->
+            Alcotest.(check bool)
+              "round-trip" true
+              (Sim.fault_of_string (Sim.fault_to_string f) = Some f))
+          [ Sim.Correct; Sim.Byzantine; Sim.Crash 0; Sim.Crash 7 ];
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) "rejected" true (Sim.fault_of_string s = None))
+          [ ""; "X"; "K"; "K-1"; "Kx"; "CC" ]);
     Alcotest.test_case "negative delays are rejected" `Quick (fun () ->
         let scheduler =
           { Sim.delay = (fun ~sender:_ ~dst:_ ~send_time:_ ~msg_index:_ ~payload:_ -> q (-1) 1) }
