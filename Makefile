@@ -1,4 +1,8 @@
-.PHONY: all build test fuzz check bench reports clean
+.PHONY: all build test fuzz check check-par bench reports clean
+
+# Cases for the parallel determinism check; override with
+# `make check-par CASES=1000` for the full acceptance run.
+CASES ?= 200
 
 all: build
 
@@ -14,6 +18,14 @@ fuzz: build
 	dune exec bin/abc_cli.exe -- fuzz --time-budget 5 --seed 1 --no-shrink
 
 check: build test fuzz
+
+# Parallel-campaign determinism: run the same campaign serially and on
+# a worker pool and require byte-identical reports (the bench harness
+# exits non-zero on divergence and writes BENCH_pool.json), then the
+# pool unit suite.
+check-par: build
+	dune exec bench/main.exe -- pool --cases $(CASES) --jobs 4 --seed 1 --out BENCH_pool.json
+	dune exec test/test_main.exe -- test pool -q
 
 reports: build
 	dune exec bench/main.exe -- reports

@@ -322,7 +322,7 @@ let cmd_omega =
 (* fuzz *)
 
 let cmd_fuzz =
-  let run cases seed time_budget replay emit no_shrink list_oracles =
+  let run cases seed time_budget replay emit no_shrink list_oracles jobs timing =
     if list_oracles then begin
       List.iter
         (fun (o : Fuzz.Oracle.t) ->
@@ -347,10 +347,14 @@ let cmd_fuzz =
           0
       | None, None ->
           let time_budget = if time_budget > 0.0 then Some time_budget else None in
+          let jobs = if jobs > 0 then Some jobs else None in
           let outcome =
-            Fuzz.Campaign.run ~shrink:(not no_shrink) ?time_budget ~cases ~seed ()
+            Fuzz.Campaign.run ~shrink:(not no_shrink) ?time_budget ?jobs ~cases
+              ~seed ()
           in
           print_string (Fuzz.Report.render outcome);
+          (* stderr, not stdout: the report stays byte-deterministic *)
+          if timing then prerr_string (Fuzz.Report.render_cost outcome);
           if outcome.Fuzz.Campaign.cp_failures = [] then 0 else 1
   in
   let cases =
@@ -378,8 +382,27 @@ let cmd_fuzz =
   let list_oracles =
     Arg.(value & flag & info [ "oracles" ] ~doc:"List the theorem oracles, then exit.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the campaign (0 = one per recommended core). \
+             The report is byte-identical whatever N; $(b,--jobs 1) runs the \
+             historical serial loop.")
+  in
+  let timing =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:
+            "Print the campaign's wall-time/allocation cost block to stderr \
+             (nondeterministic, hence never part of the report).")
+  in
   let term =
-    Term.(const run $ cases $ seed_arg $ time_budget $ replay $ emit $ no_shrink $ list_oracles)
+    Term.(
+      const run $ cases $ seed_arg $ time_budget $ replay $ emit $ no_shrink
+      $ list_oracles $ jobs $ timing)
   in
   Cmd.v
     (Cmd.info "fuzz"

@@ -1,11 +1,24 @@
 (** Campaign driver: generate cases from a base seed, run every oracle
     on each, shrink the failures, and accumulate statistics.
 
-    A campaign is a pure function of [(seed, cases, oracles)]: the
-    per-case seeds are mixed deterministically from the base seed, so
-    identical invocations produce identical {!outcome} values (and
-    identical rendered reports — see {!Report}).  An optional wall-time
-    budget stops early for smoke runs; only [cases_run] differs then. *)
+    A campaign is a pure function of [(seed, cases, oracles)]: each
+    case derives its RNG seed from [(seed, case_index)] through a
+    splitmix64 finalizer — no shared random stream — so case [i] is
+    the same case no matter which worker runs it or in which order.
+    Cases are evaluated on a {!Pool} of [jobs] domains (shrinking of a
+    failing case happens inside the same task, so it parallelizes and
+    stays a function of the case alone) and the per-worker result
+    buffers are merged back {e in case-index order} before any
+    statistic or failure is accumulated.  Identical [(seed, cases)]
+    invocations therefore produce identical {!outcome} values — and
+    identical rendered reports (see {!Report}) — {e regardless of
+    [jobs]}.
+
+    The only nondeterministic part of an outcome is {!cost} (wall
+    time, allocation), which {!Report.render} deliberately excludes.
+    An optional wall-time budget stops early for smoke runs and forces
+    [jobs:1], since "how many cases fit in the budget" is inherently a
+    serial notion; only [cases_run] differs then. *)
 
 type failure = {
   fl_oracle : string;
@@ -16,6 +29,13 @@ type failure = {
 
 type oracle_stat = { os_pass : int; os_skip : int; os_fail : int }
 
+type cost = {
+  ct_jobs : int;  (** workers the campaign ran on *)
+  ct_wall : float;  (** whole-campaign wall-clock seconds *)
+  ct_case_wall : float array;  (** per-case wall seconds, index order *)
+  ct_case_alloc : float array;  (** per-case minor words, index order *)
+}
+
 type outcome = {
   cp_seed : int;
   cp_cases_requested : int;
@@ -24,20 +44,54 @@ type outcome = {
   cp_workloads : (string * int) list;  (** workload -> cases, sorted *)
   cp_stats : (string * oracle_stat) list;  (** in registry order *)
   cp_failures : failure list;
+  cp_cost : cost;  (** nondeterministic; excluded from {!Report.render} *)
 }
 
-(* Distinct per-case seeds from the base seed; any injective-enough
-   mixing works, replays never need to invert it (the repro line
-   carries the whole case). *)
-let case_seed ~seed i = (seed * 1_000_003) + (i * 7919) + i
+(* Distinct per-case seeds, splitmix64-style: the base seed is offset
+   by (index+1) times the golden-gamma increment and pushed through
+   the splitmix finalizer.  Unlike drawing case seeds from one shared
+   stream, this makes case i a function of (seed, i) alone — exactly
+   what index-ordered parallel evaluation needs.  Replays never need
+   to invert it (the repro line carries the whole case). *)
+let case_seed ~seed i =
+  let open Int64 in
+  let golden_gamma = 0x9E3779B97F4A7C15L in
+  let z = add (of_int seed) (mul golden_gamma (of_int (i + 1))) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (logand z 0x3FFFFFFFFFFFFFFFL)
 
 let bump assoc key =
   match List.assoc_opt key assoc with
   | Some n -> (key, n + 1) :: List.remove_assoc key assoc
   | None -> (key, 1) :: assoc
 
-let run ?(oracles = Oracle.registry) ?(shrink = true) ?time_budget ?(cases = 100)
-    ~seed () : outcome =
+(* Everything one case contributes to the outcome; produced inside a
+   pool task, merged in index order afterwards. *)
+type case_eval = {
+  ce_case : Gen.case;
+  ce_results : (string * Oracle.outcome) list;
+  ce_failures : failure list;
+}
+
+let eval_case ~oracles ~shrink ~seed i =
+  let case = Gen.generate ~seed:(case_seed ~seed i) in
+  let results = Oracle.evaluate oracles case in
+  let failures =
+    List.map
+      (fun (fl_oracle, fl_detail) ->
+        let fl_shrunk =
+          if shrink then Some (Shrink.shrink ~oracles ~oracle:fl_oracle case)
+          else None
+        in
+        { fl_oracle; fl_detail; fl_case = case; fl_shrunk })
+      (Oracle.failures results)
+  in
+  { ce_case = case; ce_results = results; ce_failures = failures }
+
+(* Fold the per-case evaluations, in index order, into the outcome. *)
+let merge ~oracles ~seed ~cases ~cost (evals : case_eval array) =
   let stats =
     ref
       (List.map
@@ -46,49 +100,91 @@ let run ?(oracles = Oracle.registry) ?(shrink = true) ?time_budget ?(cases = 100
   in
   let families = ref [] and workloads = ref [] in
   let failures = ref [] in
-  let started = Sys.time () in
-  let out_of_time () =
-    match time_budget with
-    | None -> false
-    | Some b -> Sys.time () -. started > b
-  in
-  let ran = ref 0 in
-  let i = ref 0 in
-  while !i < cases && not (out_of_time ()) do
-    let case = Gen.generate ~seed:(case_seed ~seed !i) in
-    incr i;
-    incr ran;
-    families := bump !families (Gen.family_name case.Gen.c_sched);
-    workloads := bump !workloads (Gen.workload_name case.Gen.c_workload);
-    let results = Oracle.evaluate oracles case in
-    List.iter
-      (fun (name, o) ->
-        stats :=
-          List.map
-            (fun (n, s) ->
-              if n <> name then (n, s)
-              else
-                ( n,
-                  match o with
-                  | Oracle.Pass -> { s with os_pass = s.os_pass + 1 }
-                  | Oracle.Skip _ -> { s with os_skip = s.os_skip + 1 }
-                  | Oracle.Fail _ -> { s with os_fail = s.os_fail + 1 } ))
-            !stats)
-      results;
-    List.iter
-      (fun (fl_oracle, fl_detail) ->
-        let fl_shrunk =
-          if shrink then Some (Shrink.shrink ~oracles ~oracle:fl_oracle case) else None
-        in
-        failures := { fl_oracle; fl_detail; fl_case = case; fl_shrunk } :: !failures)
-      (Oracle.failures results)
-  done;
+  Array.iter
+    (fun ce ->
+      families := bump !families (Gen.family_name ce.ce_case.Gen.c_sched);
+      workloads := bump !workloads (Gen.workload_name ce.ce_case.Gen.c_workload);
+      List.iter
+        (fun (name, o) ->
+          stats :=
+            List.map
+              (fun (n, s) ->
+                if n <> name then (n, s)
+                else
+                  ( n,
+                    match o with
+                    | Oracle.Pass -> { s with os_pass = s.os_pass + 1 }
+                    | Oracle.Skip _ -> { s with os_skip = s.os_skip + 1 }
+                    | Oracle.Fail _ -> { s with os_fail = s.os_fail + 1 } ))
+              !stats)
+        ce.ce_results;
+      failures := List.rev_append ce.ce_failures !failures)
+    evals;
   {
     cp_seed = seed;
     cp_cases_requested = cases;
-    cp_cases_run = !ran;
+    cp_cases_run = Array.length evals;
     cp_families = List.sort compare !families;
     cp_workloads = List.sort compare !workloads;
     cp_stats = !stats;
     cp_failures = List.rev !failures;
+    cp_cost = cost;
   }
+
+let run ?(oracles = Oracle.registry) ?(shrink = true) ?time_budget ?(cases = 100)
+    ?jobs ~seed () : outcome =
+  let started = Pool.now () in
+  let jobs =
+    (* how many cases fit in a budget is inherently a serial notion *)
+    match time_budget with
+    | Some _ -> 1
+    | None -> (
+        match jobs with Some j -> max 1 j | None -> Pool.recommended_jobs ())
+  in
+  let evals, case_wall, case_alloc =
+    if jobs = 1 then begin
+      (* The historical serial loop, on the calling domain, with no
+         pool machinery — so a [jobs:1] campaign also composes from
+         inside a pool task (the bench harness runs its Z1 report
+         section on a worker). *)
+      let evals = ref [] in
+      let wall = ref [] and alloc = ref [] in
+      let cpu0 = Sys.time () in
+      let within_budget () =
+        match time_budget with
+        | None -> true
+        | Some b -> Sys.time () -. cpu0 <= b
+      in
+      let i = ref 0 in
+      while !i < cases && within_budget () do
+        let t0 = Pool.now () in
+        let a0 = Gc.minor_words () in
+        evals := eval_case ~oracles ~shrink ~seed !i :: !evals;
+        wall := (Pool.now () -. t0) :: !wall;
+        alloc := (Gc.minor_words () -. a0) :: !alloc;
+        incr i
+      done;
+      ( Array.of_list (List.rev !evals),
+        Array.of_list (List.rev !wall),
+        Array.of_list (List.rev !alloc) )
+    end
+    else
+      let evals, stats =
+        (* chunk:1 because case costs vary by orders of magnitude (an
+           EIG case simulates thousands of events, a shrunk clock case
+           a handful): fine-grained stealing beats batching here *)
+        Pool.map_stats ~jobs ~chunk:1 cases (eval_case ~oracles ~shrink ~seed)
+      in
+      ( evals,
+        Array.map (fun s -> s.Pool.st_wall) stats,
+        Array.map (fun s -> s.Pool.st_alloc_words) stats )
+  in
+  let cost =
+    {
+      ct_jobs = jobs;
+      ct_wall = Pool.now () -. started;
+      ct_case_wall = case_wall;
+      ct_case_alloc = case_alloc;
+    }
+  in
+  merge ~oracles ~seed ~cases ~cost evals

@@ -1,6 +1,14 @@
-(** Campaign driver: generate, run, check, shrink, accumulate.
-    Deterministic in [(seed, cases, oracles)] unless a wall-time budget
-    cuts a smoke run short. *)
+(** Campaign driver: generate, run, check, shrink, accumulate — on a
+    {!Pool} of [jobs] domains.
+
+    Deterministic in [(seed, cases, oracles)] {e regardless of
+    [jobs]}: per-case seeds are mixed splitmix64-style from
+    [(seed, case_index)] rather than drawn from a shared stream, and
+    per-worker results are merged back in case-index order.  The only
+    nondeterministic field of an outcome is {!cost}, which
+    {!Report.render} excludes.  A wall-time budget cuts a smoke run
+    short (and forces serial evaluation); only [cases_run] differs
+    then. *)
 
 type failure = {
   fl_oracle : string;
@@ -11,6 +19,16 @@ type failure = {
 
 type oracle_stat = { os_pass : int; os_skip : int; os_fail : int }
 
+(** Execution cost of the campaign.  Nondeterministic — never rendered
+    into the byte-stable report ({!Report.render}); see
+    {!Report.render_cost}. *)
+type cost = {
+  ct_jobs : int;  (** workers the campaign ran on *)
+  ct_wall : float;  (** whole-campaign wall-clock seconds *)
+  ct_case_wall : float array;  (** per-case wall seconds, index order *)
+  ct_case_alloc : float array;  (** per-case minor-heap words, index order *)
+}
+
 type outcome = {
   cp_seed : int;
   cp_cases_requested : int;
@@ -19,19 +37,26 @@ type outcome = {
   cp_workloads : (string * int) list;
   cp_stats : (string * oracle_stat) list;  (** registry order *)
   cp_failures : failure list;
+  cp_cost : cost;
 }
 
 val case_seed : seed:int -> int -> int
-(** The per-case seed mixed from the base seed and the case index. *)
+(** The per-case seed: a splitmix64 finalizer applied to the base seed
+    offset by [(index + 1)] golden-gamma increments.  A pure function
+    of [(seed, index)], so cases can be generated and evaluated in any
+    order on any worker. *)
 
 val run :
   ?oracles:Oracle.t list ->
   ?shrink:bool ->
   ?time_budget:float ->
   ?cases:int ->
+  ?jobs:int ->
   seed:int ->
   unit ->
   outcome
-(** Run up to [cases] (default 100) generated cases; stop early if the
-    optional [time_budget] (seconds of CPU time) is exceeded.  Failures
-    are shrunk unless [shrink:false]. *)
+(** Run up to [cases] (default 100) generated cases on [jobs] workers
+    (default {!Pool.recommended_jobs}); stop early if the optional
+    [time_budget] (seconds of CPU time) is exceeded — a budget forces
+    [jobs:1].  Failures are shrunk unless [shrink:false].  [jobs:1]
+    evaluates the cases in exactly the historical serial order. *)

@@ -8,6 +8,12 @@
     is derived from the single [c_seed], so a case replays bit-for-bit
     from its one-line serialization ({!Replay}).
 
+    Campaigns hand each case a seed mixed splitmix64-style from the
+    base seed and the case index ({!Campaign.case_seed}) — never a
+    shared RNG stream — so a case is a pure function of
+    [(campaign seed, index)] and can be generated on any pool worker
+    in any order without changing what it is.
+
     The generator maintains the structural invariants the paper's
     theorems assume — [n ≥ 3f + 1], Ξ > 1, and for Θ schedulers
     [Ξ > τ+/τ−] so that Theorem 6 applies unconditionally. *)

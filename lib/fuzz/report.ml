@@ -48,6 +48,31 @@ let render (o : Campaign.outcome) =
         fs);
   Buffer.contents buf
 
+(** The campaign's execution cost: wall time, per-case aggregates,
+    allocation.  Nondeterministic by nature — kept out of {!render} so
+    that reports stay byte-identical across runs and [jobs] values;
+    callers print this separately (the CLI sends it to stderr). *)
+let render_cost (o : Campaign.outcome) =
+  let c = o.Campaign.cp_cost in
+  let n = Array.length c.Campaign.ct_case_wall in
+  let buf = Buffer.create 256 in
+  bprintf buf "cost: jobs=%d wall=%.3fs\n" c.Campaign.ct_jobs c.Campaign.ct_wall;
+  if n > 0 then begin
+    let total = Array.fold_left ( +. ) 0.0 c.Campaign.ct_case_wall in
+    let slowest = ref 0 in
+    Array.iteri
+      (fun i w -> if w > c.Campaign.ct_case_wall.(!slowest) then slowest := i)
+      c.Campaign.ct_case_wall;
+    bprintf buf
+      "  cases: wall total=%.3fs mean=%.1fms max=%.1fms (case %d)\n" total
+      (1000.0 *. total /. float_of_int n)
+      (1000.0 *. c.Campaign.ct_case_wall.(!slowest))
+      !slowest;
+    bprintf buf "  alloc: %.1f Mwords minor\n"
+      (Array.fold_left ( +. ) 0.0 c.Campaign.ct_case_alloc /. 1e6)
+  end;
+  Buffer.contents buf
+
 (** One line per oracle outcome of a replayed case. *)
 let render_outcomes results =
   let buf = Buffer.create 256 in

@@ -4,7 +4,14 @@
 val render : Campaign.outcome -> string
 (** Full campaign report: coverage by scheduler family and workload,
     per-oracle pass/skip/fail table, and for every violation the
-    original and shrunk cases with their one-line repro commands. *)
+    original and shrunk cases with their one-line repro commands.
+    Byte-identical for identical [(seed, cases, oracles)], whatever
+    [jobs] the campaign ran on: {!Campaign.cost} is excluded. *)
+
+val render_cost : Campaign.outcome -> string
+(** The campaign's {!Campaign.cost} block — wall time, per-case
+    aggregates, allocation.  Nondeterministic; never mix it into
+    output that must be byte-stable (the CLI prints it to stderr). *)
 
 val render_outcomes : (string * Oracle.outcome) list -> string
 (** One line per oracle outcome, for [abc fuzz --replay]. *)

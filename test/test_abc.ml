@@ -68,4 +68,58 @@ let property_tests =
             && (Rat.compare r Rat.one <= 0 || not (Abc_check.is_admissible g ~xi:r)));
   ]
 
-let suite = unit_tests @ property_tests
+(* Differential tests: the admissible-Xi front-end cross-checked
+   against the parametric search it wraps, and the Theorem-11
+   decomposition checked to keep every cycle under the aggregate ratio
+   bound of Corollary 1.  Both run on random executions so they probe
+   shapes the hand-built figures do not. *)
+let differential_tests =
+  [
+    prop "admissible_xi agrees with the parametric search" 80 arb_seed
+      (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g =
+          Util.random_execution rng
+            ~nprocs:(2 + (seed mod 5))
+            ~max_events:40 ~max_delay:4 ~fanout:3
+        in
+        let fallback = xi 3 2 in
+        let x = Abc.admissible_xi g ~fallback in
+        (* whatever is returned must actually be admissible ... *)
+        Abc_check.is_admissible g ~xi:x
+        &&
+        (* ... and must sit exactly where the exact threshold says *)
+        match Abc.max_relevant_ratio g with
+        | None -> Rat.equal x fallback
+        | Some r ->
+            if Rat.compare fallback r > 0 then Rat.equal x fallback
+            else Rat.compare x r > 0 && Rat.compare x (Rat.add r Rat.one) <= 0);
+    prop "decomposition keeps every cycle under the graph threshold" 40 arb_seed
+      (fun seed ->
+        let rng = Random.State.make [| seed |] in
+        let g =
+          Util.random_execution rng ~nprocs:3 ~max_events:18 ~max_delay:3
+            ~fanout:2
+        in
+        let relevant =
+          List.filter (fun c -> c.Cycle.relevant) (Cycle.enumerate g)
+        in
+        match relevant with
+        | [] -> true (* nothing to decompose; vacuously fine *)
+        | _ ->
+            let xi_adm = Abc.admissible_xi g ~fallback:(xi 3 2) in
+            (* weighted family (weights 1 and 2) over a bounded prefix,
+               so the Eulerian re-split stays cheap *)
+            let inputs =
+              List.filteri (fun i _ -> i < 8) relevant
+              |> List.mapi (fun i c -> (1 + (i mod 2), c))
+            in
+            let outputs = Cyclespace.decompose g inputs in
+            Cyclespace.verify_decomposition g ~inputs ~outputs
+            && Cyclespace.corollary1_holds
+                 (Cyclespace.sum_vector g inputs)
+                 ~xi:xi_adm
+            && List.for_all (fun c -> Cycle.satisfies_abc c ~xi:xi_adm) outputs);
+  ]
+
+let suite = unit_tests @ property_tests @ differential_tests
