@@ -4,10 +4,10 @@
     (Definition 4).  Besides wrapping the checkers of
     [Execgraph.Abc_check], this module computes the {e exact maximum
     relevant-cycle ratio} of an execution graph — the infimum of the
-    admissible Ξ — in polynomial time by parametric search
-    (Lawler-style binary search over the checker with big-integer
-    weights, with exact rational recovery via the Stern–Brocot
-    simplest-fraction construction). *)
+    admissible Ξ — in polynomial time by parametric search: exact
+    binary search on the Stern–Brocot tree over the monotone
+    cycle-detection probe, every probe a native-int Bellman–Ford on a
+    single prebuilt auxiliary graph. *)
 
 type params = { xi : Rat.t  (** the synchrony parameter Ξ > 1 *) }
 

@@ -53,6 +53,28 @@ let add_edge g ~src ~dst =
   g.in_adj.(dst) <- e :: g.in_adj.(dst);
   e
 
+let truncate g ~nodes ~edges =
+  if nodes < 0 || nodes > g.n || edges < 0 || edges > g.m then
+    invalid_arg "Digraph.truncate: counts out of range";
+  (* Adjacency lists are built by prepending, so within each list edge
+     ids are strictly decreasing: removing every edge with id >= edges
+     is popping list heads, newest first. *)
+  for i = g.m - 1 downto edges do
+    let e = g.edge_arr.(i) in
+    (match g.out_adj.(e.src) with
+    | x :: tl when x.id = e.id -> g.out_adj.(e.src) <- tl
+    | _ -> invalid_arg "Digraph.truncate: adjacency out of sync");
+    match g.in_adj.(e.dst) with
+    | x :: tl when x.id = e.id -> g.in_adj.(e.dst) <- tl
+    | _ -> invalid_arg "Digraph.truncate: adjacency out of sync"
+  done;
+  g.m <- edges;
+  for v = nodes to g.n - 1 do
+    if g.out_adj.(v) <> [] || g.in_adj.(v) <> [] then
+      invalid_arg "Digraph.truncate: surviving edge references a removed node"
+  done;
+  g.n <- nodes
+
 let edge g i =
   if i < 0 || i >= g.m then invalid_arg "Digraph.edge: out of range";
   g.edge_arr.(i)

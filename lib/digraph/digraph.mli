@@ -34,6 +34,16 @@ val add_edge : t -> src:int -> dst:int -> edge
 (** Appends a fresh edge and returns it.  Ids are dense and assigned in
     insertion order. *)
 
+val truncate : t -> nodes:int -> edges:int -> unit
+(** [truncate g ~nodes ~edges] removes every edge with id [>= edges]
+    and every node with index [>= nodes], rolling the graph back to an
+    earlier prefix of its construction (ids are dense and assigned in
+    insertion order, so a prefix is identified by the two counts).
+    Used by the incremental admissibility checker to retract
+    speculative extensions.
+    @raise Invalid_argument if the counts exceed the current sizes or
+    if a surviving edge references a removed node. *)
+
 (** {1 Accessors} *)
 
 val node_count : t -> int

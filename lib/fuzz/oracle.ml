@@ -24,6 +24,8 @@ type ctx = {
   case : Gen.case;
   run : Gen.run;
   graph : Graph.t;  (** faithful execution graph *)
+  adm : bool Lazy.t;  (** graph admissible for the case's own Ξ; several
+                          oracles gate on this, so it is decided once *)
   xi_eff : Rat.t Lazy.t;  (** a Ξ the execution is admissible for *)
 }
 
@@ -35,11 +37,16 @@ type t = {
 
 let make_ctx case run =
   let graph = Gen.graph_of_run run in
+  let adm = lazy (Abc_check.is_admissible graph ~xi:case.Gen.c_xi) in
   {
     case;
     run;
     graph;
-    xi_eff = lazy (Abc.admissible_xi graph ~fallback:case.Gen.c_xi);
+    adm;
+    xi_eff =
+      lazy
+        (if Lazy.force adm then case.Gen.c_xi
+         else Abc.admissible_xi graph ~fallback:case.Gen.c_xi);
   }
 
 let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
@@ -99,7 +106,7 @@ let o_theta_admissible =
       (fun ctx ->
         match ctx.case.Gen.c_sched with
         | Gen.S_theta _ ->
-            if Abc_check.is_admissible ctx.graph ~xi:ctx.case.Gen.c_xi then Pass
+            if Lazy.force ctx.adm then Pass
             else
               failf "Theta execution not admissible for Xi = %s"
                 (Rat.to_string ctx.case.Gen.c_xi)
@@ -114,7 +121,7 @@ let o_defer_admissible =
       (fun ctx ->
         match ctx.case.Gen.c_sched with
         | Gen.S_deferring _ ->
-            if Abc_check.is_admissible ctx.graph ~xi:ctx.case.Gen.c_xi then Pass
+            if Lazy.force ctx.adm then Pass
             else
               failf "deferring-adversary execution violates its own Xi = %s"
                 (Rat.to_string ctx.case.Gen.c_xi)
@@ -251,7 +258,7 @@ let o_lockstep =
         | Gen.R_lockstep r -> (
             if not (complete_execution_admissible ctx.case) then
               Skip "scheduler does not bound the complete execution"
-            else if not (Abc_check.is_admissible ctx.graph ~xi:ctx.case.Gen.c_xi) then
+            else if not (Lazy.force ctx.adm) then
               Skip "execution not admissible for the protocol's Xi"
             else
               let correct = Gen.correct_procs ctx.case in
@@ -277,7 +284,7 @@ let o_consensus =
         | Gen.R_consensus (r, inputs) ->
             if not (complete_execution_admissible ctx.case) then
               Skip "scheduler does not bound the complete execution"
-            else if not (Abc_check.is_admissible ctx.graph ~xi:ctx.case.Gen.c_xi) then
+            else if not (Lazy.force ctx.adm) then
               Skip "execution not admissible for the protocol's Xi"
             else
               let correct = Gen.correct_procs ctx.case in

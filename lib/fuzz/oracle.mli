@@ -11,6 +11,9 @@ type ctx = {
   case : Gen.case;
   run : Gen.run;
   graph : Execgraph.Graph.t;  (** faithful execution graph *)
+  adm : bool Lazy.t;
+      (** whether [graph] is admissible for the case's own Ξ; several
+          oracles gate on this, so it is decided at most once *)
   xi_eff : Rat.t Lazy.t;
       (** a Ξ the execution is provably admissible for, via
           {!Core.Abc.admissible_xi} *)

@@ -8,9 +8,22 @@
     Ξ > 1" (Definition 4 of the paper), and the delay-assignment proof
     engine (Section 4.1) manipulates linear systems whose solutions must
     be certified exactly, so this module is used pervasively instead of
-    floating point. *)
+    floating point.
 
-type t = private { num : Bigint.t; den : Bigint.t }
+    {b Representation.}  A two-constructor variant: a {e small} form
+    holding numerator and denominator as native ints with
+    [|num|, den <= 2^30 - 1] (so every cross product in
+    add/sub/mul/div/compare stays below [2^60] and every two-product
+    sum below [2^61], exact on OCaml's 63-bit ints), and a {e big}
+    form over {!Bigint} entered only when a reduced result exceeds
+    those bounds.  Values representable in the small form are never
+    held in the big form, so structural equality still coincides with
+    numeric equality.  In practice Ξ, clock values and edge weights are
+    tiny, so the hot paths (the admissibility checker, the simplex
+    pivots of small LP instances, the fuzz oracles) run entirely on
+    native ints with no bignum allocation. *)
+
+type t
 
 (** {1 Construction} *)
 
@@ -45,6 +58,12 @@ val to_string : t -> string
 val sign : t -> int
 val is_zero : t -> bool
 val is_integer : t -> bool
+
+val is_small : t -> bool
+(** [is_small x] is [true] iff [x] is held in the word-sized fast-path
+    form.  Exposed for tests and benchmarks; algorithms must not
+    depend on it. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val min : t -> t -> t
@@ -91,6 +110,11 @@ module O : sig
 end
 
 val pp : Format.formatter -> t -> unit
+
+val check_invariant : t -> bool
+(** [true] iff the value is in canonical form: positive denominator,
+    [gcd num den = 1], and held small iff it fits the small bounds.
+    Used by the test suite. *)
 
 (** {1 Infinitesimal extension}
 

@@ -422,37 +422,29 @@ let run_deferring (cfg : ('s, 'm) config) ~xi
   let delivered = ref 0 in
   let stop = ref false in
   (* would delivering the given envelopes (in order) on top of the
-     recorded graph still be admissible?  Checked on a scratch copy of
-     the faithful graph (Graph.add_* mutate).  The adversary maintains
-     the invariant that the current graph extended with the whole
-     deferred queue is admissible, so forced deliveries (of queue
-     prefixes) can never violate. *)
+     recorded graph still be admissible?  Asked as a speculative
+     extension of an incremental checker attached to the faithful
+     graph: committed growth is absorbed by delta relaxation and the
+     hypothetical tail is rolled back, instead of copying the whole
+     graph and re-running Bellman–Ford per query.  The adversary
+     maintains the invariant that the current graph extended with the
+     whole deferred queue is admissible, so forced deliveries (of
+     queue prefixes) can never violate. *)
+  let checker = Abc_check.Checker.create graph ~xi in
   let extension_admissible (envs : 'm envelope list) =
-    let g' = Graph.create ~nprocs:n in
-    let remap = Hashtbl.create 64 in
-    for id = 0 to Graph.event_count graph - 1 do
-      let ev = Graph.event graph id in
-      let ev' = Graph.add_event g' ~proc:ev.Event.proc in
-      Hashtbl.replace remap id ev'.Event.id
-    done;
-    List.iter
-      (fun (e : Digraph.edge) ->
-        if Graph.is_message graph e then
-          ignore
-            (Graph.add_message g' ~src:(Hashtbl.find remap e.src)
-               ~dst:(Hashtbl.find remap e.dst)))
-      (Digraph.edges (Graph.digraph graph));
+    Abc_check.Checker.spec_begin checker;
     List.iter
       (fun env ->
         if env.env_sender_correct then begin
-          let ev = Graph.add_event g' ~proc:env.env_dst in
+          let ev = Abc_check.Checker.spec_add_event checker ~proc:env.env_dst in
           match env.env_send_faithful with
-          | Some src ->
-              ignore (Graph.add_message g' ~src:(Hashtbl.find remap src) ~dst:ev.Event.id)
+          | Some src -> Abc_check.Checker.spec_add_message checker ~src ~dst:ev
           | None -> ()
         end)
       envs;
-    Abc_check.is_admissible g' ~xi
+    let ok = Abc_check.Checker.spec_admissible checker in
+    Abc_check.Checker.spec_abort checker;
+    ok
   in
   let deliver env =
     let time = Rat.of_int !delivered in

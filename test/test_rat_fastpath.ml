@@ -1,0 +1,112 @@
+(* Differential tests for the small-rational fast path: every Rat
+   operation is checked against plain big-integer cross-product
+   identities on operands engineered to straddle the Small/Big
+   representation boundary (numerators and denominators around the
+   30-bit small bound, the 62-bit word edge, and min_int/max_int).
+   The canonical-form invariant — a value representable as Small is
+   never held as Big, parts reduced, positive denominator — is what
+   makes structural equality numeric equality; [Rat.check_invariant]
+   asserts it on every produced value. *)
+
+let bi = Bigint.of_int
+
+(* Interesting integer magnitudes: both sides of the 2^30-1 small
+   bound, both sides of the 62-bit edge where int products overflow,
+   and the extreme native ints. *)
+let gen_part =
+  let open QCheck.Gen in
+  let small_max = (1 lsl 30) - 1 in
+  oneof
+    [
+      int_range (-50) 50;
+      int_range (small_max - 3) (small_max + 3);
+      int_range (-small_max - 3) (-small_max + 3);
+      map (fun k -> (1 lsl 55) + k) (int_range (-3) 3);
+      map (fun k -> min_int + k) (int_range 0 3);
+      map (fun k -> max_int - k) (int_range 0 3);
+      int_range (-1000000000000) 1000000000000;
+    ]
+
+let gen_rat =
+  let open QCheck.Gen in
+  map2
+    (fun n d ->
+      let d = if d = 0 then 1 else d in
+      Rat.make (bi n) (bi d))
+    gen_part gen_part
+
+let arb_rat = QCheck.make ~print:Rat.to_string gen_rat
+
+let arb_pair = QCheck.pair arb_rat arb_rat
+
+(* x as the exact pair (num, den) of big integers. *)
+let parts x = (Rat.num x, Rat.den x)
+
+(* z = a/b in lowest terms iff z's cross products with a/b agree and z
+   satisfies the representation invariant (canonical + small-iff-fits,
+   which pins the representation uniquely). *)
+let represents z ~num ~den =
+  Rat.check_invariant z
+  && Bigint.equal (Bigint.mul (Rat.num z) den) (Bigint.mul num (Rat.den z))
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let suite =
+  [
+    prop "add = cross-product sum" 1000 arb_pair (fun (x, y) ->
+        let xn, xd = parts x and yn, yd = parts y in
+        represents (Rat.add x y)
+          ~num:(Bigint.add (Bigint.mul xn yd) (Bigint.mul yn xd))
+          ~den:(Bigint.mul xd yd));
+    prop "sub = cross-product difference" 1000 arb_pair (fun (x, y) ->
+        let xn, xd = parts x and yn, yd = parts y in
+        represents (Rat.sub x y)
+          ~num:(Bigint.sub (Bigint.mul xn yd) (Bigint.mul yn xd))
+          ~den:(Bigint.mul xd yd));
+    prop "mul = product of parts" 1000 arb_pair (fun (x, y) ->
+        let xn, xd = parts x and yn, yd = parts y in
+        represents (Rat.mul x y) ~num:(Bigint.mul xn yn) ~den:(Bigint.mul xd yd));
+    prop "div = cross product" 1000 arb_pair (fun (x, y) ->
+        QCheck.assume (not (Rat.is_zero y));
+        let xn, xd = parts x and yn, yd = parts y in
+        represents (Rat.div x y) ~num:(Bigint.mul xn yd) ~den:(Bigint.mul xd yn));
+    prop "mul_int agrees with mul" 1000
+      (QCheck.pair arb_rat (QCheck.make ~print:string_of_int gen_part))
+      (fun (x, k) ->
+        let z = Rat.mul_int x k in
+        Rat.check_invariant z && Rat.equal z (Rat.mul x (Rat.of_int k)));
+    prop "compare = big-integer cross compare" 1000 arb_pair (fun (x, y) ->
+        let xn, xd = parts x and yn, yd = parts y in
+        Rat.compare x y = Bigint.compare (Bigint.mul xn yd) (Bigint.mul yn xd));
+    prop "neg/abs/sign/inv consistent" 1000 arb_rat (fun x ->
+        let n, d = parts x in
+        Rat.check_invariant (Rat.neg x)
+        && Rat.check_invariant (Rat.abs x)
+        && represents (Rat.neg x) ~num:(Bigint.neg n) ~den:d
+        && Rat.sign x = Bigint.sign n
+        && (Rat.is_zero x
+           || (Rat.check_invariant (Rat.inv x) && represents (Rat.inv x) ~num:d ~den:n)));
+    prop "floor matches big-integer division" 1000 arb_rat (fun x ->
+        let f = Rat.floor x in
+        let fx = Rat.of_bigint f in
+        Rat.O.(fx <= x) && Rat.O.(x < Rat.add fx Rat.one));
+    prop "make canonicalizes at every magnitude" 1000
+      (QCheck.pair (QCheck.make ~print:string_of_int gen_part)
+         (QCheck.make ~print:string_of_int gen_part))
+      (fun (n, d) ->
+        QCheck.assume (d <> 0);
+        let x = Rat.make (bi n) (bi d) in
+        Rat.check_invariant x
+        && Bigint.equal (Bigint.mul (Rat.num x) (bi d))
+             (Bigint.mul (bi n) (Rat.den x)));
+    prop "equal is structural across representations" 1000 arb_pair
+      (fun (x, y) ->
+        (* scale both by a big factor and back: forces a Big detour,
+           which must land on the same representation *)
+        let big = Rat.make (bi ((1 lsl 60) + 1)) (bi 1) in
+        let x' = Rat.div (Rat.mul x big) big in
+        Rat.equal x x'
+        && Rat.is_small x = Rat.is_small x'
+        && Rat.equal x y = (Rat.compare x y = 0));
+  ]
