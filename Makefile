@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz check check-par bench reports clean
+.PHONY: all build test fuzz boundary check check-par bench reports clean
 
 # Cases for the parallel determinism check; override with
 # `make check-par CASES=1000` for the full acceptance run.
@@ -17,7 +17,14 @@ test: build
 fuzz: build
 	dune exec bin/abc_cli.exe -- fuzz --time-budget 5 --seed 1 --no-shrink
 
-check: build test fuzz
+# Negative-oracle smoke: a resilience-boundary campaign (every case at
+# n = 3f with an equivocator) must witness violations of Theorem 2
+# precision and of EIG agreement; --expect-violations makes the exit
+# code demand that every boundary oracle fired.
+boundary: build
+	dune exec bin/abc_cli.exe -- fuzz --boundary --cases 25 --seed 1 --no-shrink --expect-violations
+
+check: build test fuzz boundary
 
 # Parallel-campaign determinism: run the same campaign serially and on
 # a worker pool and require byte-identical reports (the bench harness

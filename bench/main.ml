@@ -149,10 +149,10 @@ let report_f3_f4 () =
 
 let report_f5 () =
   header "F5 | Fig. 5 / Lemma 4: causal cone of Algorithm 1";
-  let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |] in
+  let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "rush5" |] in
   let r =
     run_clock_sync ~seed:42 ~nprocs:4 ~f:1 ~faults
-      ~byz:(Some (Clock_sync.byzantine_rusher ~ahead:5))
+      ~byz:(Some (fun _ -> Clock_sync.byzantine_rusher ~ahead:5))
       ~max_events:400 ~tau_plus:(q 2 1)
   in
   let input = { Clock_sync.result = r; correct = correct_of faults; xi = q 5 2 } in
@@ -262,9 +262,11 @@ let report_t1 () =
   List.iter
     (fun (n, f) ->
       let faults = Array.make n Sim.Correct in
-      if f >= 1 then faults.(n - 1) <- Sim.Byzantine;
+      if f >= 1 then faults.(n - 1) <- Sim.Byzantine "rush4";
       if f >= 2 then faults.(n - 2) <- Sim.Crash 10;
-      let byz = if f >= 1 then Some (Clock_sync.byzantine_rusher ~ahead:4) else None in
+      let byz =
+        if f >= 1 then Some (fun _ -> Clock_sync.byzantine_rusher ~ahead:4) else None
+      in
       let r = run_clock_sync ~seed:5 ~nprocs:n ~f ~faults ~byz ~max_events:600 ~tau_plus:(q 2 1) in
       let clocks =
         List.map (fun p -> Clock_sync.clock r.Sim.final_states.(p)) (correct_of faults)
@@ -278,10 +280,10 @@ let report_t2 () =
   pr "  %-8s %-10s %-12s %-12s %-8s@." "Xi" "bound 2Xi" "skew (cuts)" "skew (rt)" "ok";
   List.iter
     (fun x ->
-      let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |] in
+      let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "rush6" |] in
       let r =
         run_clock_sync ~seed:8 ~nprocs:4 ~f:1 ~faults
-          ~byz:(Some (Clock_sync.byzantine_rusher ~ahead:6))
+          ~byz:(Some (fun _ -> Clock_sync.byzantine_rusher ~ahead:6))
           ~max_events:300
           ~tau_plus:(Rat.sub x (q 1 4))
       in
@@ -327,8 +329,8 @@ let report_t5 () =
       ("fault-free", Array.make 4 Sim.Correct, None);
       ("one crash", [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 12 |], None);
       ( "one byzantine",
-        [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |],
-        Some (Lockstep.algorithm ~f:1 ~xi:(q 5 2) Lockstep.noop_round_algo) );
+        [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "noop" |],
+        Some (fun _ -> Lockstep.algorithm ~f:1 ~xi:(q 5 2) Lockstep.noop_round_algo) );
     ]
 
 let report_t6 () =
@@ -402,9 +404,9 @@ let report_c1 () =
       }
   in
   let cfg =
-    Sim.make_config ~byzantine:byz ~nprocs:4
+    Sim.make_config ~byzantine:(fun _ -> byz) ~nprocs:4
       ~algorithm:(Lockstep.algorithm ~f:1 ~xi:(q 5 2) algo)
-      ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |]
+      ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "forger" |]
       ~scheduler ~max_events:4000
       ~stop_when:(fun states ->
         List.for_all
@@ -461,8 +463,10 @@ let report_s2 () =
   List.iter
     (fun (n, f) ->
       let faults = Array.make n Sim.Correct in
-      if f >= 1 then faults.(n - 1) <- Sim.Byzantine;
-      let byz = if f >= 1 then Some (Clock_sync.byzantine_rusher ~ahead:5) else None in
+      if f >= 1 then faults.(n - 1) <- Sim.Byzantine "rush5";
+      let byz =
+        if f >= 1 then Some (fun _ -> Clock_sync.byzantine_rusher ~ahead:5) else None
+      in
       let r = run_clock_sync ~seed:9 ~nprocs:n ~f ~faults ~byz ~max_events:(60 * n) ~tau_plus:(q 2 1) in
       let input = { Clock_sync.result = r; correct = correct_of faults; xi = q 5 2 } in
       pr "  %-6d %-6d %-14d %-12d@." n f (Clock_sync.max_skew_on_cuts input) 5)
@@ -798,6 +802,8 @@ let bench_tests () =
               c_sched = Fuzz.Gen.S_theta { tau_minus = q 1 1; tau_plus = q 3 2 };
               c_workload = Fuzz.Gen.W_clock;
               c_max_events = 150;
+              c_plan = [];
+              c_boundary = false;
             }
           in
           fun () -> List.length (Fuzz.Oracle.evaluate Fuzz.Oracle.registry case)));
@@ -1025,13 +1031,76 @@ let run_rat_bench ~out =
   Format.printf "  series written to %s@." out
 
 (* ------------------------------------------------------------------ *)
+(* Nemesis series: the 100-case Z1 campaign under the full fault
+   palette (structured byzantine strategies, omission, recovery,
+   message-level plans) against the pre-nemesis baseline (same
+   container, commit 09ecc2e), plus the boundary campaign that must
+   witness violations at n = 3f. *)
+
+let byz_baseline_wall_s = 4.249
+let byz_baseline_alloc_mwords = 302.48
+
+let run_byz_bench ~out =
+  Format.printf "nemesis series: 100-case Z1 campaign + n = 3f boundary campaign@.";
+  let alloc0 = Gc.allocated_bytes () in
+  let t0 = Pool.now () in
+  let o = Fuzz.Campaign.run ~shrink:false ~cases:100 ~seed:1 ~jobs:1 () in
+  let wall = Pool.now () -. t0 in
+  let alloc_mwords = (Gc.allocated_bytes () -. alloc0) /. 8.0 /. 1e6 in
+  let failures = List.length o.Fuzz.Campaign.cp_failures in
+  let bt0 = Pool.now () in
+  let ob = Fuzz.Campaign.run ~shrink:false ~boundary:true ~cases:50 ~seed:1 ~jobs:1 () in
+  let bwall = Pool.now () -. bt0 in
+  let fails_of name =
+    match List.assoc_opt name ob.Fuzz.Campaign.cp_stats with
+    | Some s -> s.Fuzz.Campaign.os_fail
+    | None -> 0
+  in
+  let precision_w = fails_of "boundary-precision" in
+  let agreement_w = fails_of "boundary-agreement" in
+  let speedup = byz_baseline_wall_s /. wall in
+  let alloc_ratio = byz_baseline_alloc_mwords /. alloc_mwords in
+  Format.printf
+    "  campaign: %.3fs (baseline %.3fs, %.2fx), %.1f Mwords (baseline %.1f, \
+     %.2fx), %d failures@."
+    wall byz_baseline_wall_s speedup alloc_mwords byz_baseline_alloc_mwords
+    alloc_ratio failures;
+  Format.printf
+    "  boundary: %.3fs, %d precision witnesses, %d agreement witnesses over \
+     %d cases@."
+    bwall precision_w agreement_w ob.Fuzz.Campaign.cp_cases_run;
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "{\n  \"bench\": \"byz_nemesis\",\n  \"campaign\": {\n    \"cases\": 100,\n\
+    \    \"seed\": 1,\n    \"jobs\": 1,\n    \"wall_s\": %.3f,\n\
+    \    \"alloc_mwords\": %.2f,\n    \"failures\": %d,\n\
+    \    \"baseline_wall_s\": %.3f,\n    \"baseline_alloc_mwords\": %.2f,\n\
+    \    \"relative_wall\": %.2f,\n    \"relative_alloc\": %.2f\n  },\n\
+    \  \"boundary\": {\n    \"cases\": %d,\n    \"seed\": 1,\n\
+    \    \"wall_s\": %.3f,\n    \"precision_witnesses\": %d,\n\
+    \    \"agreement_witnesses\": %d\n  }\n}\n"
+    wall alloc_mwords failures byz_baseline_wall_s byz_baseline_alloc_mwords
+    speedup alloc_ratio ob.Fuzz.Campaign.cp_cases_run bwall precision_w
+    agreement_w;
+  write_file out (Buffer.contents buf);
+  Format.printf "  series written to %s@." out;
+  if failures <> 0 then begin
+    Format.eprintf "error: positive campaign found violations@.";
+    exit 1
+  end;
+  if precision_w = 0 || agreement_w = 0 then begin
+    Format.eprintf "error: boundary campaign failed to witness both violation kinds@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Argument parsing: no cmdliner here (the harness predates it and the
    grammar is three words); unknown flags fail loudly. *)
 
 let usage () =
   prerr_endline
     "usage: main.exe [reports [SECTION...] [-j N]] | [pool [--cases N] \
-     [--jobs N] [--seed N] [--out FILE]] | [rat [--out FILE]]";
+     [--jobs N] [--seed N] [--out FILE]] | [rat [--out FILE]] | [byz [--out FILE]]";
   exit 2
 
 let int_arg name = function
@@ -1082,6 +1151,13 @@ let () =
         | _ -> usage ()
       in
       go ~out:"BENCH_rat.json" rest
+  | _ :: "byz" :: rest ->
+      let rec go ~out = function
+        | [] -> run_byz_bench ~out
+        | "--out" :: file :: rest -> go ~out:file rest
+        | _ -> usage ()
+      in
+      go ~out:"BENCH_byz.json" rest
   | [ _ ] ->
       run_reports ();
       run_benchmarks ()

@@ -176,9 +176,11 @@ let cmd_simulate =
       let rng = Random.State.make [| seed |] in
       let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) () in
       let faults = Array.make procs Sim.Correct in
-      if f >= 1 then faults.(procs - 1) <- Sim.Byzantine;
+      if f >= 1 then faults.(procs - 1) <- Sim.Byzantine "rush5";
       if f >= 2 then faults.(procs - 2) <- Sim.Crash 20;
-      let byz = if f >= 1 then Some (Clock_sync.byzantine_rusher ~ahead:5) else None in
+      let byz =
+        if f >= 1 then Some (fun _ -> Clock_sync.byzantine_rusher ~ahead:5) else None
+      in
       let cfg =
         Sim.make_config ?byzantine:byz ~nprocs:procs
           ~algorithm:(Clock_sync.algorithm ~f) ~faults ~scheduler ~max_events:events ()
@@ -229,9 +231,9 @@ let cmd_consensus =
         }
     in
     let cfg =
-      Sim.make_config ~byzantine:byz ~nprocs:4
+      Sim.make_config ~byzantine:(fun _ -> byz) ~nprocs:4
         ~algorithm:(Lockstep.algorithm ~f:1 ~xi algo)
-        ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |]
+        ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "forger" |]
         ~scheduler ~max_events:4000
         ~stop_when:(fun states ->
           List.for_all
@@ -322,7 +324,8 @@ let cmd_omega =
 (* fuzz *)
 
 let cmd_fuzz =
-  let run cases seed time_budget replay emit no_shrink list_oracles jobs timing =
+  let run cases seed time_budget replay emit no_shrink list_oracles jobs timing
+      boundary expect_violations =
     if list_oracles then begin
       List.iter
         (fun (o : Fuzz.Oracle.t) ->
@@ -343,19 +346,39 @@ let cmd_fuzz =
               if Fuzz.Oracle.failures results = [] then 0 else 1)
       | None, Some s ->
           (* print the serialized case a seed generates, for hand editing *)
-          print_endline (Fuzz.Replay.to_string (Fuzz.Gen.generate ~seed:s));
+          let gen =
+            if boundary then Fuzz.Gen.generate_boundary else Fuzz.Gen.generate
+          in
+          print_endline (Fuzz.Replay.to_string (gen ~seed:s));
           0
       | None, None ->
           let time_budget = if time_budget > 0.0 then Some time_budget else None in
           let jobs = if jobs > 0 then Some jobs else None in
           let outcome =
-            Fuzz.Campaign.run ~shrink:(not no_shrink) ?time_budget ?jobs ~cases
-              ~seed ()
+            Fuzz.Campaign.run ~shrink:(not no_shrink) ~boundary ?time_budget ?jobs
+              ~cases ~seed ()
           in
           print_string (Fuzz.Report.render outcome);
           (* stderr, not stdout: the report stays byte-deterministic *)
           if timing then prerr_string (Fuzz.Report.render_cost outcome);
-          if outcome.Fuzz.Campaign.cp_failures = [] then 0 else 1
+          if expect_violations then
+            (* negative mode: the campaign must WITNESS violations — at
+               the boundary, every boundary oracle must have failed at
+               least once *)
+            let is_boundary_oracle n =
+              String.length n >= 9 && String.sub n 0 9 = "boundary-"
+            in
+            let witnessed =
+              outcome.Fuzz.Campaign.cp_failures <> []
+              && List.for_all
+                   (fun (n, s) ->
+                     (not (boundary && is_boundary_oracle n))
+                     || s.Fuzz.Campaign.os_fail > 0)
+                   outcome.Fuzz.Campaign.cp_stats
+            in
+            if witnessed then 0 else 1
+          else if outcome.Fuzz.Campaign.cp_failures = [] then 0
+          else 1
   in
   let cases =
     Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc:"Number of cases to run.")
@@ -399,10 +422,28 @@ let cmd_fuzz =
             "Print the campaign's wall-time/allocation cost block to stderr \
              (nondeterministic, hence never part of the report).")
   in
+  let boundary =
+    Arg.(
+      value & flag
+      & info [ "boundary" ]
+          ~doc:
+            "Sample resilience-boundary cases (n = 3f with an equivocator) \
+             instead of positive ones.  The boundary oracles are expected to \
+             witness violations of the paper's n >= 3f+1 bounds.")
+  in
+  let expect_violations =
+    Arg.(
+      value & flag
+      & info [ "expect-violations" ]
+          ~doc:
+            "Invert the exit-code convention: succeed iff the campaign \
+             witnessed violations (with $(b,--boundary), iff every boundary \
+             oracle failed at least once).")
+  in
   let term =
     Term.(
       const run $ cases $ seed_arg $ time_budget $ replay $ emit $ no_shrink
-      $ list_oracles $ jobs $ timing)
+      $ list_oracles $ jobs $ timing $ boundary $ expect_violations)
   in
   Cmd.v
     (Cmd.info "fuzz"

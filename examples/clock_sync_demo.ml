@@ -20,7 +20,7 @@ let () =
   let scheduler = Sim.theta_scheduler ~rng ~tau_minus:(q 1 1) ~tau_plus:(q 2 1) () in
   let faults =
     [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct;
-       Sim.Crash 25; Sim.Byzantine |]
+       Sim.Crash 25; Sim.Byzantine "rush6" |]
   in
   let correct = [ 0; 1; 2; 3; 4 ] in
   Format.printf "=== Algorithm 1: Byzantine clock synchronization ===@.";
@@ -28,7 +28,7 @@ let () =
     nprocs f (Rat.to_string xi);
   let cfg =
     Sim.make_config
-      ~byzantine:(Clock_sync.byzantine_rusher ~ahead:6)
+      ~byzantine:(fun _ -> Clock_sync.byzantine_rusher ~ahead:6)
       ~nprocs
       ~algorithm:(Clock_sync.algorithm ~f)
       ~faults ~scheduler ~max_events:1200 ()
@@ -43,7 +43,8 @@ let () =
         match faults.(p) with
         | Sim.Correct -> "correct"
         | Sim.Crash _ -> "crashed"
-        | Sim.Byzantine -> "byzantine"
+        | Sim.Byzantine _ -> "byzantine"
+        | _ -> "faulty"
       in
       Format.printf "  p%d (%-9s): C = %d@." p role (Clock_sync.clock st))
     result.Sim.final_states;

@@ -38,9 +38,9 @@ let () =
       }
   in
   let cfg =
-    Sim.make_config ~byzantine:byz ~nprocs
+    Sim.make_config ~byzantine:(fun _ -> byz) ~nprocs
       ~algorithm:(Lockstep.algorithm ~f ~xi algo)
-      ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |]
+      ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "forger" |]
       ~scheduler ~max_events:4000
       ~stop_when:(fun states ->
         List.for_all

@@ -46,10 +46,10 @@ let run_corner ~label ~scale ~xi =
   let rng = Random.State.make [| 0xC0FFEE |] in
   let scheduler = corner_scheduler ~rng ~scale () in
   let faults = Array.make nprocs Sim.Correct in
-  faults.(4) <- Sim.Byzantine (* the centre tile came out bad *);
+  faults.(4) <- Sim.Byzantine "mute" (* the centre tile came out bad *);
   let cfg =
     Sim.make_config
-      ~byzantine:(Clock_sync.byzantine_rusher ~ahead:4)
+      ~byzantine:(fun _ -> Clock_sync.byzantine_rusher ~ahead:4)
       ~nprocs
       ~algorithm:(Clock_sync.algorithm ~f)
       ~faults ~scheduler ~max_events:1500 ()

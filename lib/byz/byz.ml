@@ -1,0 +1,261 @@
+open Core
+
+(** Structured Byzantine strategies (the nemesis palette) against
+    Algorithm 1 and the lock-step/EIG layer.
+
+    Each strategy is serializable (its name rides in fuzz repro lines
+    as the payload of [Sim.Byzantine]) and comes in two flavours: a
+    clock-workload algorithm masquerading as {!Clock_sync.state}, and a
+    lock-step wrapper that keeps the honest Algorithm 1/2 message
+    pattern but tampers with ticks or round payloads.
+
+    Design constraints shared by all strategies:
+    - no strategy messages itself outside the honest pattern (a
+      self-loop would flood the run with byzantine-only events and
+      starve everyone of scheduler budget);
+    - per-receipt output is bounded by [nprocs - 1] messages, so a
+      byzantine process can never post unboundedly more than a correct
+      one;
+    - everything is deterministic — {!Chaotic} draws from a pure hash
+      of its seed and the receipt, never from global randomness — so
+      campaigns replay byte-identically. *)
+
+type t =
+  | Silent  (** receives but never sends (the historical default) *)
+  | Equivocator
+      (** two-faced ticks: mirrors received ticks back to even-numbered
+          peers (corroborating their advance quorum) while lagging
+          odd-numbered peers by one, each per-peer stream kept monotone
+          via {!Clock_sync.peer_view}.  At [n = 3f] the mirror side can
+          pump a victim's clock without any second correct process —
+          the engine of the resilience-boundary witnesses.  On the
+          lock-step layer it keeps ticks honest and forges round
+          payloads per destination. *)
+  | Lagger of int  (** echoes every tick [k] behind what it heard *)
+  | Rusher of int  (** floods ticks up to [k] ahead (two-faced per peer) *)
+  | Mimic of int
+      (** runs the honest algorithm for its first [k] receipts, then
+          defects to equivocation *)
+  | Chaotic of int
+      (** random-state: pseudo-random ticks/payloads to pseudo-random
+          peer subsets, driven by a pure hash of the given seed *)
+
+let to_string = function
+  | Silent -> ""
+  | Equivocator -> "eq"
+  | Lagger k -> "lag" ^ string_of_int k
+  | Rusher k -> "rush" ^ string_of_int k
+  | Mimic k -> "mim" ^ string_of_int k
+  | Chaotic s -> "rnd" ^ string_of_int s
+
+let of_string s =
+  let num prefix =
+    let lp = String.length prefix in
+    if String.length s > lp && String.sub s 0 lp = prefix then
+      match int_of_string_opt (String.sub s lp (String.length s - lp)) with
+      | Some k when k >= 0 -> Some k
+      | _ -> None
+    else None
+  in
+  match s with
+  | "" -> Some Silent
+  | "eq" -> Some Equivocator
+  | _ -> (
+      match num "lag" with
+      | Some k when k >= 1 -> Some (Lagger k)
+      | Some _ -> None
+      | None -> (
+          match num "rush" with
+          | Some k when k >= 1 -> Some (Rusher k)
+          | Some _ -> None
+          | None -> (
+              match num "mim" with
+              | Some k -> Some (Mimic k)
+              | None -> (
+                  match num "rnd" with Some k -> Some (Chaotic k) | None -> None))))
+
+let of_fault = function Sim.Byzantine name -> of_string name | _ -> None
+let fault t = Sim.Byzantine (to_string t)
+
+let palette = [ Silent; Equivocator; Lagger 2; Rusher 4; Mimic 3; Chaotic 1 ]
+
+(* Pure deterministic hash (boost-style combine, masked to 30 bits so
+   it is identical on every platform). *)
+let mix seed xs =
+  List.fold_left
+    (fun h x -> (h lxor (x + 0x9e3779b9 + (h lsl 6) + (h lsr 2))) land 0x3FFFFFFF)
+    (seed land 0x3FFFFFFF) xs
+
+let others ~self ~nprocs =
+  List.filter (fun d -> d <> self) (List.init nprocs Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Clock workload (Algorithm 1) *)
+
+(* Send a per-peer monotone, two-faced tick burst derived from the
+   received tick [t]: mirror [t] to even peers, [t - 1] to odd ones. *)
+let equivocate ~self ~nprocs s t =
+  let s, rev =
+    List.fold_left
+      (fun (s, acc) d ->
+        let raw = if d land 1 = 0 then t else max 0 (t - 1) in
+        let v = max raw (Clock_sync.peer_view_tick s d) in
+        ( Clock_sync.record_peer_view s d v,
+          { Sim.dst = d; payload = Clock_sync.Tick v } :: acc ))
+      (s, [])
+      (others ~self ~nprocs)
+  in
+  (s, List.rev rev)
+
+let chaotic_burst ~self ~nprocs seed ~nrecv ~sender ~t =
+  let h = mix seed [ self; nrecv; sender; t ] in
+  List.filter_map
+    (fun d ->
+      if mix h [ d ] land 1 = 0 then None
+      else Some { Sim.dst = d; payload = Clock_sync.Tick (mix h [ d; 1 ] mod (t + 4)) })
+    (others ~self ~nprocs)
+
+let clock ~f strat : (Clock_sync.state, Clock_sync.msg) Sim.algorithm =
+  match strat with
+  | Silent -> Clock_sync.byzantine_mute
+  | Rusher ahead -> Clock_sync.byzantine_rusher ~ahead
+  | Lagger lag ->
+      {
+        init =
+          (fun ~self ~nprocs ->
+            ( Clock_sync.initial ~f:0,
+              List.map
+                (fun d -> { Sim.dst = d; payload = Clock_sync.Tick 0 })
+                (others ~self ~nprocs) ));
+        step =
+          (fun ~self ~nprocs s ~sender (Tick t) ->
+            if sender = self then (s, [])
+            else
+              ( s,
+                List.map
+                  (fun d -> { Sim.dst = d; payload = Clock_sync.Tick (max 0 (t - lag)) })
+                  (others ~self ~nprocs) ));
+      }
+  | Equivocator ->
+      {
+        init = (fun ~self ~nprocs -> equivocate ~self ~nprocs (Clock_sync.initial ~f:0) 0);
+        step =
+          (fun ~self ~nprocs s ~sender (Tick t) ->
+            if sender = self then (s, []) else equivocate ~self ~nprocs s t);
+      }
+  | Mimic k ->
+      let honest = Clock_sync.algorithm ~f in
+      {
+        init = honest.init;
+        step =
+          (fun ~self ~nprocs s ~sender (Tick t as m) ->
+            if List.length s.Clock_sync.receipt_log < k then
+              honest.step ~self ~nprocs s ~sender m
+            else if sender = self then (s, [])
+            else equivocate ~self ~nprocs s t);
+      }
+  | Chaotic seed ->
+      {
+        init =
+          (fun ~self ~nprocs ->
+            ( Clock_sync.initial ~f:0,
+              chaotic_burst ~self ~nprocs seed ~nrecv:0 ~sender:self ~t:0 ));
+        step =
+          (fun ~self ~nprocs s ~sender (Tick t) ->
+            if sender = self then (s, [])
+            else
+              let nrecv = List.length s.Clock_sync.receipt_log + 1 in
+              let s =
+                { s with Clock_sync.receipt_log = (sender, t) :: s.Clock_sync.receipt_log }
+              in
+              (s, chaotic_burst ~self ~nprocs seed ~nrecv ~sender ~t));
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Lock-step / EIG workload (Algorithm 2 and consensus on top) *)
+
+let lockstep (type rs rm) strat ~f ~xi ~(inner : (rs, rm) Lockstep.round_algo)
+    ~(forge : self:int -> round:int -> dst:int -> rm) :
+    ((rs, rm) Lockstep.state, rm Lockstep.msg) Sim.algorithm =
+  let base = Lockstep.algorithm ~f ~xi inner in
+  let p = Lockstep.phase_length ~xi in
+  let round_of_tick tick = if tick mod p = 0 then Some (tick / p) else None in
+  let forge_payloads ~self sends =
+    List.map
+      (fun ({ Sim.dst; payload } as send) ->
+        match (payload.Lockstep.round_payload, round_of_tick payload.Lockstep.tick) with
+        | Some _, Some round when dst <> self ->
+            {
+              send with
+              Sim.payload =
+                { payload with Lockstep.round_payload = Some (forge ~self ~round ~dst) };
+            }
+        | _ -> send)
+      sends
+  in
+  let shift_ticks delta sends =
+    List.map
+      (fun { Sim.dst; payload } ->
+        { Sim.dst; payload = { payload with Lockstep.tick = max 0 (payload.Lockstep.tick + delta) } })
+      sends
+  in
+  let transform ~self st sends =
+    match strat with
+    | Silent -> []
+    | Equivocator -> forge_payloads ~self sends
+    | Lagger lag -> shift_ticks (-lag) sends
+    | Rusher ahead -> shift_ticks ahead sends
+    | Mimic k ->
+        if List.length st.Lockstep.cs.Clock_sync.receipt_log < k then sends
+        else forge_payloads ~self sends
+    | Chaotic seed ->
+        List.filter_map
+          (fun ({ Sim.dst; payload } as send) ->
+            let h = mix seed [ self; dst; payload.Lockstep.tick ] in
+            match h land 3 with
+            | 0 -> None
+            | 1 -> (
+                match
+                  (payload.Lockstep.round_payload, round_of_tick payload.Lockstep.tick)
+                with
+                | Some _, Some round ->
+                    Some
+                      {
+                        send with
+                        Sim.payload =
+                          {
+                            payload with
+                            Lockstep.round_payload = Some (forge ~self ~round ~dst);
+                          };
+                      }
+                | _ -> Some send)
+            | 2 ->
+                Some
+                  { send with Sim.payload = { payload with Lockstep.tick = payload.Lockstep.tick + 1 } }
+            | _ -> Some send)
+          sends
+  in
+  {
+    init =
+      (fun ~self ~nprocs ->
+        let st, sends = base.init ~self ~nprocs in
+        (st, transform ~self st sends));
+    step =
+      (fun ~self ~nprocs st ~sender m ->
+        let st', sends = base.step ~self ~nprocs st ~sender m in
+        (st', transform ~self st' sends));
+  }
+
+(* The EIG payload forger behind the n = 3f agreement witness: claim
+   value 1 in round 0 to everyone, then relay, for every process [q], a
+   level-[round] claim whose value is the destination's parity — so
+   each correct process's tree is tilted toward its own index.  At
+   [n = 3, f = 1] with correct inputs (0, 1) this makes the recursive
+   majority resolve to 0 at process 0 and 1 at process 1 (hand-checked
+   disagreement; the symmetric variant without the round-0 asymmetry is
+   absorbed by EIG's default-0 tiebreak). *)
+let eig_forge ~nprocs ~self:_ ~round ~dst =
+  if round = 0 then [ ([], 1) ]
+  else
+    List.init nprocs (fun q ->
+        (List.init round (fun i -> (q + i) mod nprocs), dst land 1))

@@ -1,0 +1,62 @@
+(** Structured Byzantine strategies (the nemesis palette) against
+    Algorithm 1 and the lock-step/EIG layer.
+
+    A strategy name rides in fuzz repro lines as the payload of
+    {!Sim.Byzantine}; {!of_string} is the registry the generator and
+    validators dispatch on.  All strategies are deterministic (the
+    random-state one draws from a pure hash of its seed), never message
+    themselves outside the honest pattern, and post at most
+    [nprocs - 1] messages per receipt — so campaigns stay
+    byte-replayable and byzantine processes cannot starve the event
+    budget. *)
+
+type t =
+  | Silent  (** receives but never sends; wire name [""] *)
+  | Equivocator
+      (** two-faced: mirrors ticks to even peers, lags odd peers, each
+          per-peer stream monotone via {!Core.Clock_sync.peer_view}; on the
+          lock-step layer forges round payloads per destination.  Wire
+          name ["eq"]. *)
+  | Lagger of int  (** echoes ticks [k] behind; ["lag<k>"], [k >= 1] *)
+  | Rusher of int  (** floods ticks ahead; ["rush<k>"], [k >= 1] *)
+  | Mimic of int
+      (** honest for its first [k] receipts, then equivocates;
+          ["mim<k>"] *)
+  | Chaotic of int
+      (** pseudo-random ticks/payloads to pseudo-random peer subsets
+          from a pure hash; ["rnd<seed>"] *)
+
+val to_string : t -> string
+val of_string : string -> t option
+
+val of_fault : Sim.fault -> t option
+(** The strategy behind a {!Sim.Byzantine} fault, if its name parses. *)
+
+val fault : t -> Sim.fault
+(** [Byzantine (to_string t)]. *)
+
+val palette : t list
+(** The strategies the generator samples from. *)
+
+val clock : f:int -> t -> (Core.Clock_sync.state, Core.Clock_sync.msg) Sim.algorithm
+(** The strategy against Algorithm 1 ([f] parameterizes the honest
+    phase of {!Mimic}). *)
+
+val lockstep :
+  t ->
+  f:int ->
+  xi:Rat.t ->
+  inner:('rs, 'rm) Core.Lockstep.round_algo ->
+  forge:(self:int -> round:int -> dst:int -> 'rm) ->
+  (('rs, 'rm) Core.Lockstep.state, 'rm Core.Lockstep.msg) Sim.algorithm
+(** The strategy against Algorithm 2 (and whatever round algorithm
+    rides on it): wraps the honest merged algorithm over [inner] and
+    tampers with its output — payloads replaced per destination by
+    [forge] (equivocation), ticks shifted (lagger/rusher), sends
+    dropped or jittered (chaotic). *)
+
+val eig_forge : nprocs:int -> self:int -> round:int -> dst:int -> (int list * int) list
+(** The EIG payload forger behind the n = 3f agreement witness: round-0
+    value 1 to everyone, then per-destination-parity level claims.  At
+    [n = 3, f = 1] with correct inputs (0, 1) the recursive majority
+    resolves to different decisions at the two correct processes. *)

@@ -34,9 +34,30 @@ type state = {
   received : Iset.t Imap.t;  (** tick value -> senders seen *)
   sent_upto : int;  (** largest tick already broadcast (-1 = none) *)
   receipt_log : (int * int) list;  (** (sender, tick) receipts, newest first *)
+  peer_view : int Imap.t;
+      (** per-peer message visibility: the largest tick this process has
+          told each destination, individually.  The honest algorithm
+          broadcasts uniformly and leaves this empty; equivocating
+          strategies (lib/byz) maintain it to keep each per-peer tick
+          stream monotone while the streams diverge from each other. *)
 }
 
+let initial ~f =
+  {
+    k = 0;
+    f;
+    received = Imap.empty;
+    sent_upto = 0;
+    receipt_log = [];
+    peer_view = Imap.empty;
+  }
+
 let clock s = s.k
+
+let peer_view_tick s d =
+  match Imap.find_opt d s.peer_view with Some t -> t | None -> -1
+
+let record_peer_view s d t = { s with peer_view = Imap.add d (max t (peer_view_tick s d)) s.peer_view }
 
 let broadcast_range ~nprocs lo hi =
   List.concat_map
@@ -71,11 +92,7 @@ let apply_rules ~nprocs s =
 let algorithm ~f : (state, msg) Sim.algorithm =
   {
     init =
-      (fun ~self:_ ~nprocs ->
-        let s =
-          { k = 0; f; received = Imap.empty; sent_upto = 0; receipt_log = [] }
-        in
-        (s, broadcast_range ~nprocs 0 0));
+      (fun ~self:_ ~nprocs -> (initial ~f, broadcast_range ~nprocs 0 0));
     step =
       (fun ~self:_ ~nprocs s ~sender (Tick t) ->
         let senders =
@@ -104,10 +121,9 @@ let byzantine_rusher ~ahead : (state, msg) Sim.algorithm =
   {
     init =
       (fun ~self ~nprocs ->
-        let s =
-          { k = 0; f = 0; received = Imap.empty; sent_upto = 0; receipt_log = [] }
-        in
-        (s, others ~self ~nprocs (fun d -> { Sim.dst = d; payload = Tick (d mod ahead) })));
+        ( initial ~f:0,
+          others ~self ~nprocs (fun d -> { Sim.dst = d; payload = Tick (d mod ahead) })
+        ));
     step =
       (fun ~self ~nprocs s ~sender (Tick t) ->
         (* never message itself (a self-loop would flood the run with
@@ -124,9 +140,7 @@ let byzantine_rusher ~ahead : (state, msg) Sim.algorithm =
 (** A Byzantine process that stays silent (still receives). *)
 let byzantine_mute : (state, msg) Sim.algorithm =
   {
-    init =
-      (fun ~self:_ ~nprocs:_ ->
-        ({ k = 0; f = 0; received = Imap.empty; sent_upto = 0; receipt_log = [] }, []));
+    init = (fun ~self:_ ~nprocs:_ -> (initial ~f:0, []));
     step = (fun ~self:_ ~nprocs:_ s ~sender:_ _ -> (s, []));
   }
 

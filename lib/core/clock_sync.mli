@@ -24,9 +24,24 @@ type state = {
   received : Iset.t Imap.t;  (** tick value -> senders seen *)
   sent_upto : int;  (** largest tick already broadcast *)
   receipt_log : (int * int) list;  (** (sender, tick) receipts, newest first *)
+  peer_view : int Imap.t;
+      (** per-peer message visibility: the largest tick this process
+          has told each destination individually.  Empty for the honest
+          algorithm (it broadcasts uniformly); equivocating strategies
+          ({!Byz}) maintain it so each per-peer tick stream stays
+          monotone while the streams diverge from each other. *)
 }
 
+val initial : f:int -> state
+(** Fresh state: clock 0, nothing received or sent. *)
+
 val clock : state -> int
+
+val peer_view_tick : state -> int -> int
+(** Largest tick told to the given destination ([-1] if none). *)
+
+val record_peer_view : state -> int -> int -> state
+(** [record_peer_view s d t]: note that [t] was sent to [d]. *)
 
 val broadcast_range : nprocs:int -> int -> int -> msg Sim.send list
 (** Broadcasts of [(tick lo) .. (tick hi)] to everyone (self included,

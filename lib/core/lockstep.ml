@@ -110,15 +110,7 @@ let algorithm_scheduled ~f ~(schedule : schedule) (ra : ('rs, 'rm) round_algo) :
     init =
       (fun ~self ~nprocs ->
         let rs0, m0 = ra.r_init ~self ~nprocs in
-        let cs =
-          {
-            Clock_sync.k = 0;
-            f;
-            received = Clock_sync.Imap.empty;
-            sent_upto = 0;
-            receipt_log = [];
-          }
-        in
+        let cs = Clock_sync.initial ~f in
         let st = { cs; r = 0; rs = rs0; round_msgs = Imap.empty; history = [] } in
         let sends =
           List.init nprocs (fun d ->

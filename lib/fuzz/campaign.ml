@@ -40,6 +40,7 @@ type outcome = {
   cp_seed : int;
   cp_cases_requested : int;
   cp_cases_run : int;
+  cp_boundary : bool;  (** resilience-boundary campaign ([n = 3f] cases) *)
   cp_families : (string * int) list;  (** scheduler family -> cases, sorted *)
   cp_workloads : (string * int) list;  (** workload -> cases, sorted *)
   cp_stats : (string * oracle_stat) list;  (** in registry order *)
@@ -75,8 +76,9 @@ type case_eval = {
   ce_failures : failure list;
 }
 
-let eval_case ~oracles ~shrink ~seed i =
-  let case = Gen.generate ~seed:(case_seed ~seed i) in
+let eval_case ~oracles ~shrink ~boundary ~seed i =
+  let gen = if boundary then Gen.generate_boundary else Gen.generate in
+  let case = gen ~seed:(case_seed ~seed i) in
   let results = Oracle.evaluate oracles case in
   let failures =
     List.map
@@ -91,7 +93,7 @@ let eval_case ~oracles ~shrink ~seed i =
   { ce_case = case; ce_results = results; ce_failures = failures }
 
 (* Fold the per-case evaluations, in index order, into the outcome. *)
-let merge ~oracles ~seed ~cases ~cost (evals : case_eval array) =
+let merge ~oracles ~seed ~cases ~boundary ~cost (evals : case_eval array) =
   let stats =
     ref
       (List.map
@@ -124,6 +126,7 @@ let merge ~oracles ~seed ~cases ~cost (evals : case_eval array) =
     cp_seed = seed;
     cp_cases_requested = cases;
     cp_cases_run = Array.length evals;
+    cp_boundary = boundary;
     cp_families = List.sort compare !families;
     cp_workloads = List.sort compare !workloads;
     cp_stats = !stats;
@@ -131,8 +134,8 @@ let merge ~oracles ~seed ~cases ~cost (evals : case_eval array) =
     cp_cost = cost;
   }
 
-let run ?(oracles = Oracle.registry) ?(shrink = true) ?time_budget ?(cases = 100)
-    ?jobs ~seed () : outcome =
+let run ?(oracles = Oracle.registry) ?(shrink = true) ?(boundary = false)
+    ?time_budget ?(cases = 100) ?jobs ~seed () : outcome =
   let started = Pool.now () in
   let jobs =
     (* how many cases fit in a budget is inherently a serial notion *)
@@ -159,7 +162,7 @@ let run ?(oracles = Oracle.registry) ?(shrink = true) ?time_budget ?(cases = 100
       while !i < cases && within_budget () do
         let t0 = Pool.now () in
         let a0 = Gc.minor_words () in
-        evals := eval_case ~oracles ~shrink ~seed !i :: !evals;
+        evals := eval_case ~oracles ~shrink ~boundary ~seed !i :: !evals;
         wall := (Pool.now () -. t0) :: !wall;
         alloc := (Gc.minor_words () -. a0) :: !alloc;
         incr i
@@ -173,7 +176,7 @@ let run ?(oracles = Oracle.registry) ?(shrink = true) ?time_budget ?(cases = 100
         (* chunk:1 because case costs vary by orders of magnitude (an
            EIG case simulates thousands of events, a shrunk clock case
            a handful): fine-grained stealing beats batching here *)
-        Pool.map_stats ~jobs ~chunk:1 cases (eval_case ~oracles ~shrink ~seed)
+        Pool.map_stats ~jobs ~chunk:1 cases (eval_case ~oracles ~shrink ~boundary ~seed)
       in
       ( evals,
         Array.map (fun s -> s.Pool.st_wall) stats,
@@ -187,4 +190,4 @@ let run ?(oracles = Oracle.registry) ?(shrink = true) ?time_budget ?(cases = 100
       ct_case_alloc = case_alloc;
     }
   in
-  merge ~oracles ~seed ~cases ~cost evals
+  merge ~oracles ~seed ~cases ~boundary ~cost evals

@@ -33,6 +33,7 @@ type outcome = {
   cp_seed : int;
   cp_cases_requested : int;
   cp_cases_run : int;  (** < requested only under a time budget *)
+  cp_boundary : bool;  (** resilience-boundary campaign ([n = 3f] cases) *)
   cp_families : (string * int) list;  (** scheduler family -> cases *)
   cp_workloads : (string * int) list;
   cp_stats : (string * oracle_stat) list;  (** registry order *)
@@ -49,6 +50,7 @@ val case_seed : seed:int -> int -> int
 val run :
   ?oracles:Oracle.t list ->
   ?shrink:bool ->
+  ?boundary:bool ->
   ?time_budget:float ->
   ?cases:int ->
   ?jobs:int ->
@@ -59,4 +61,8 @@ val run :
     (default {!Pool.recommended_jobs}); stop early if the optional
     [time_budget] (seconds of CPU time) is exceeded — a budget forces
     [jobs:1].  Failures are shrunk unless [shrink:false].  [jobs:1]
-    evaluates the cases in exactly the historical serial order. *)
+    evaluates the cases in exactly the historical serial order.
+    [boundary:true] draws every case from {!Gen.generate_boundary}
+    instead of {!Gen.generate}: [n = 3f] with an equivocator, where the
+    [boundary-*] oracles are expected to witness violations (reported
+    as failures). *)

@@ -64,6 +64,13 @@ type case = {
   c_sched : sched_spec;
   c_workload : workload;
   c_max_events : int;  (** receive-event budget (≥ nprocs) *)
+  c_plan : Sim.fault_plan;  (** message-level fault actions, [] for none *)
+  c_boundary : bool;
+      (** resilience-boundary mode: the case deliberately sits at
+          [n = 3f] with an equivocator, where the paper's guarantees
+          are allowed — and expected — to break.  Positive theorem
+          oracles skip such cases; the boundary oracles fail on them
+          exactly when a violation is witnessed. *)
 }
 
 let family_name = function
@@ -89,15 +96,42 @@ let correct_procs c =
 (* Validation: the invariants every case (generated or parsed from a
    repro line) must satisfy before it can run. *)
 
+let has_equivocator c =
+  Array.exists
+    (fun fl ->
+      match Byz.of_fault fl with
+      | Some (Byz.Equivocator | Byz.Mimic _) -> true
+      | _ -> false)
+    c.c_faults
+
 let validate c =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let f = nfaulty c in
+  let strategies_known =
+    Array.for_all
+      (fun fl -> match fl with Sim.Byzantine _ -> Byz.of_fault fl <> None | _ -> true)
+      c.c_faults
+  in
   if c.c_nprocs < 2 then err "need at least 2 processes"
   else if Array.length c.c_faults <> c.c_nprocs then err "fault vector size mismatch"
-  else if c.c_nprocs < (3 * f) + 1 then
+  else if not strategies_known then err "unknown byzantine strategy"
+  else if (not c.c_boundary) && c.c_nprocs < (3 * f) + 1 then
     err "need n >= 3f + 1 (n = %d, f = %d)" c.c_nprocs f
+  else if c.c_boundary && (f < 1 || c.c_nprocs <> 3 * f) then
+    err "boundary: need n = 3f with f >= 1 (n = %d, f = %d)" c.c_nprocs f
+  else if c.c_boundary && not (has_equivocator c) then
+    err "boundary: need an equivocating byzantine process"
+  else if c.c_boundary && c.c_workload = W_lockstep then
+    err "boundary: workload must be clock or eig"
   else if Rat.compare c.c_xi Rat.one <= 0 then err "need Xi > 1"
   else if c.c_max_events < c.c_nprocs then err "event budget below nprocs"
+  else if
+    List.exists
+      (fun (_, a) ->
+        match a with Sim.P_misdirect d -> d < 0 || d >= c.c_nprocs | _ -> false)
+      c.c_plan
+  then err "plan: misdirect target out of range"
+  else if List.exists (fun (i, _) -> i < 0) c.c_plan then err "plan: negative msg_index"
   else
     let proc_ok p = p >= 0 && p < c.c_nprocs in
     let pos x = Rat.sign x > 0 in
@@ -161,10 +195,15 @@ let generate ~seed =
   in
   let f = Random.State.int st (fmax + 1) in
   let faults = Array.make nprocs Sim.Correct in
+  let byz_palette = Array.of_list Byz.palette in
   for i = 0 to f - 1 do
     faults.(nprocs - 1 - i) <-
-      (if Random.State.bool st then Sim.Byzantine
-       else Sim.Crash (1 + Random.State.int st 8))
+      (match Random.State.int st 8 with
+      | 0 | 1 | 2 -> Byz.fault (pick byz_palette)
+      | 3 | 4 -> Sim.Crash (Random.State.int st 9)
+      | 5 -> Sim.Send_omission (Random.State.int st 6)
+      | 6 -> Sim.Receive_omission (1 + Random.State.int st 4)
+      | _ -> Sim.Recover (Random.State.int st 6, 1 + Random.State.int st 6))
   done;
   let margin = pick [| q 1 4; q 1 2; q 1 1 |] in
   let xi_palette () = Rat.add (pick [| q 3 2; q 2 1; q 5 2; q 3 1 |]) margin in
@@ -236,6 +275,30 @@ let generate ~seed =
         else 300 + Random.State.int st 250
     | W_consensus -> 2500 + (700 * f)
   in
+  let plan =
+    (* a quarter of the cases carry a message-level fault plan; the
+       indices target the early message range every workload posts *)
+    if Random.State.int st 4 > 0 then []
+    else
+      let actions = 1 + Random.State.int st 3 in
+      let used = ref [] in
+      List.filter_map
+        (fun _ ->
+          let idx = Random.State.int st 60 in
+          if List.mem idx !used then None
+          else begin
+            used := idx :: !used;
+            let a =
+              match Random.State.int st 4 with
+              | 0 -> Sim.P_drop
+              | 1 -> Sim.P_duplicate (q (1 + Random.State.int st 4) 2)
+              | 2 -> Sim.P_misdirect (Random.State.int st nprocs)
+              | _ -> Sim.P_delay (q (1 + Random.State.int st 10) 2)
+            in
+            Some (idx, a)
+          end)
+        (List.init actions Fun.id)
+  in
   let case =
     {
       c_seed = 1 + Random.State.int st 0x3FFFFFFF;
@@ -245,6 +308,8 @@ let generate ~seed =
       c_sched = sched;
       c_workload = workload;
       c_max_events = max_events;
+      c_plan = plan;
+      c_boundary = false;
     }
   in
   match validate case with
@@ -252,6 +317,53 @@ let generate ~seed =
   | Error e ->
       (* the generator keeps every invariant by construction *)
       invalid_arg (Printf.sprintf "Fuzz.Gen.generate: internal invariant: %s" e)
+
+(** Resilience-boundary generator: cases at exactly [n = 3f] with an
+    equivocator, where Theorem 2 precision (clock workload, deferring
+    adversary starving one correct process while the equivocator pumps
+    the other) and EIG agreement (consensus workload with forged
+    per-destination relays) are expected to break.  Used by boundary
+    campaigns; {!validate} accepts these cases only with
+    [c_boundary = true]. *)
+let generate_boundary ~seed =
+  let st = Random.State.make [| 0xB0DE; seed |] in
+  let pick arr = arr.(Random.State.int st (Array.length arr)) in
+  let case =
+    if Random.State.bool st then
+      (* Thm 2 precision witness: defer the pumped process's ticks to
+         the starved one, at the exact admissibility boundary *)
+      let victim_sender, victim_dst = (0, 1) in
+      {
+        c_seed = 1 + Random.State.int st 0x3FFFFFFF;
+        c_nprocs = 3;
+        c_faults = [| Sim.Correct; Sim.Correct; Byz.fault Byz.Equivocator |];
+        c_xi = pick [| q 3 2; q 2 1; q 5 2 |];
+        c_sched = S_deferring { victim_sender; victim_dst };
+        c_workload = W_clock;
+        c_max_events = 90 + Random.State.int st 40;
+        c_plan = [];
+        c_boundary = true;
+      }
+    else
+      (* EIG agreement witness: correct inputs forced to (0, 1) — the
+         per-destination-parity forgery needs diverging inputs *)
+      let raw = 1 + Random.State.int st 0x3FFFFFFF in
+      {
+        c_seed = (raw land lnot 3) lor 2;
+        c_nprocs = 3;
+        c_faults = [| Sim.Correct; Sim.Correct; Byz.fault Byz.Equivocator |];
+        c_xi = q 5 2;
+        c_sched = S_theta { tau_minus = q 1 1; tau_plus = q 2 1 };
+        c_workload = W_consensus;
+        c_max_events = 500;
+        c_plan = [];
+        c_boundary = true;
+      }
+  in
+  match validate case with
+  | Ok c -> c
+  | Error e ->
+      invalid_arg (Printf.sprintf "Fuzz.Gen.generate_boundary: internal invariant: %s" e)
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
@@ -302,6 +414,12 @@ let scheduler_of_spec ~rng spec =
     function of the case seed, so it needs no extra serialization. *)
 let consensus_input c p = (c.c_seed lsr (p mod 24)) land 1
 
+(** The byzantine strategy of process [p] in a case ({!Byz.Silent} for
+    non-byzantine processes; validation guarantees every byzantine name
+    parses). *)
+let strategy_of c p =
+  Option.value (Byz.of_fault c.c_faults.(p)) ~default:Byz.Silent
+
 let run_case (c : case) : run =
   (match validate c with
   | Ok _ -> ()
@@ -320,8 +438,8 @@ let run_case (c : case) : run =
   | W_clock ->
       let cfg =
         Sim.make_config
-          ~byzantine:(Clock_sync.byzantine_rusher ~ahead:4)
-          ~nprocs:n
+          ~byzantine:(fun p -> Byz.clock ~f (strategy_of c p))
+          ~plan:c.c_plan ~nprocs:n
           ~algorithm:(Clock_sync.algorithm ~f)
           ~faults:c.c_faults
           ~scheduler:(scheduler_of_spec ~rng c.c_sched)
@@ -331,8 +449,11 @@ let run_case (c : case) : run =
   | W_lockstep ->
       let cfg =
         Sim.make_config
-          ~byzantine:(Lockstep.algorithm ~f ~xi:c.c_xi Lockstep.noop_round_algo)
-          ~nprocs:n
+          ~byzantine:(fun p ->
+            Byz.lockstep (strategy_of c p) ~f ~xi:c.c_xi
+              ~inner:Lockstep.noop_round_algo
+              ~forge:(fun ~self:_ ~round:_ ~dst:_ -> ()))
+          ~plan:c.c_plan ~nprocs:n
           ~algorithm:(Lockstep.algorithm ~f ~xi:c.c_xi Lockstep.noop_round_algo)
           ~faults:c.c_faults
           ~scheduler:(scheduler_of_spec ~rng c.c_sched)
@@ -342,23 +463,14 @@ let run_case (c : case) : run =
   | W_consensus ->
       let inputs = Array.init n (consensus_input c) in
       let algo = Consensus.Eig.algo ~f ~value:(fun p -> inputs.(p)) in
-      let byz =
-        (* two-faced liar over lock-step, as in the CLI's consensus demo *)
-        let real = Consensus.Eig.algo ~f ~value:(fun _ -> 0) in
-        Lockstep.algorithm ~f ~xi:c.c_xi
-          {
-            Lockstep.r_init =
-              (fun ~self ~nprocs ->
-                let st, _ = real.Lockstep.r_init ~self ~nprocs in
-                (st, [ ([], 0) ]));
-            r_step =
-              (fun ~self ~nprocs ~round st _ ->
-                (st, List.init round (fun i -> ([ (self + i) mod nprocs ], i mod 2))));
-          }
-      in
       let correct = correct_procs c in
       let cfg =
-        Sim.make_config ~byzantine:byz ~nprocs:n
+        Sim.make_config
+          ~byzantine:(fun p ->
+            Byz.lockstep (strategy_of c p) ~f ~xi:c.c_xi
+              ~inner:(Consensus.Eig.algo ~f ~value:(fun _ -> 0))
+              ~forge:(Byz.eig_forge ~nprocs:n))
+          ~plan:c.c_plan ~nprocs:n
           ~algorithm:(Lockstep.algorithm ~f ~xi:c.c_xi algo)
           ~faults:c.c_faults
           ~scheduler:(scheduler_of_spec ~rng c.c_sched)

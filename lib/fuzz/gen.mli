@@ -41,6 +41,10 @@ type case = {
   c_sched : sched_spec;
   c_workload : workload;
   c_max_events : int;
+  c_plan : Sim.fault_plan;  (** message-level fault actions, [] for none *)
+  c_boundary : bool;
+      (** resilience-boundary mode: [n = 3f] with an equivocator, where
+          violations of the paper's bounds are expected and witnessed *)
 }
 
 val family_name : sched_spec -> string
@@ -53,14 +57,33 @@ val workload_name : workload -> string
 val nfaulty : case -> int
 val correct_procs : case -> int list
 
+val has_equivocator : case -> bool
+(** Whether some process runs an equivocating strategy
+    ({!Byz.Equivocator} or {!Byz.Mimic}). *)
+
+val strategy_of : case -> int -> Byz.t
+(** The byzantine strategy of a process ({!Byz.Silent} for
+    non-byzantine processes). *)
+
 val validate : case -> (case, string) result
 (** Check every structural invariant the theorem oracles rely on:
-    [n ≥ 3f + 1], [Ξ > 1], [Ξ > τ+/τ−] for Θ cases, victim indices in
-    range, budget ≥ nprocs, … *)
+    [n ≥ 3f + 1] (positive cases) or exactly [n = 3f] with an
+    equivocator (boundary cases), known strategy names, [Ξ > 1],
+    [Ξ > τ+/τ−] for Θ cases, victim and misdirect indices in range,
+    budget ≥ nprocs, … *)
 
 val generate : seed:int -> case
 (** Deterministic: equal seeds produce equal cases.  Generated cases
-    always satisfy {!validate}. *)
+    always satisfy {!validate}.  Samples the full nemesis palette:
+    named byzantine strategies, crashes (including [Crash 0]),
+    send/receive omission, crash-recovery, and message-level fault
+    plans on a quarter of the cases — always at [n ≥ 3f + 1]. *)
+
+val generate_boundary : seed:int -> case
+(** Resilience-boundary cases at exactly [n = 3f] with an equivocator:
+    clock workload under the deferring adversary (Thm 2 precision
+    expected to break) or EIG consensus with forged per-destination
+    relays (agreement expected to break). *)
 
 (** A finished run, tagged by workload. *)
 type run =

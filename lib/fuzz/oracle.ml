@@ -51,6 +51,26 @@ let make_ctx case run =
 
 let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
 
+(* Fault plans tamper with individual messages, which voids different
+   hypotheses for different oracles:
+   - drop / misdirect break reliable delivery between correct
+     processes, the hypothesis of every liveness-flavoured theorem
+     (progress, causal cone, lock-step, consensus);
+   - delay overrides and the duplicates' extra copies can exceed τ+,
+     voiding the Θ certification of Theorem 6 (the delivered graph's
+     own admissibility, which [xi_eff] measures, is unaffected). *)
+let plan_preserves_delivery plan =
+  List.for_all
+    (fun (_, a) ->
+      match a with Sim.P_drop | Sim.P_misdirect _ -> false | _ -> true)
+    plan
+
+let plan_theta_safe plan =
+  List.for_all
+    (fun (_, a) ->
+      match a with Sim.P_delay _ | Sim.P_duplicate _ -> false | _ -> true)
+    plan
+
 (* Whether the scheduler family guarantees that the COMPLETE execution
    (not just the simulated prefix) is admissible for the case's Ξ:
    Theta by Theorem 6 (the generator enforces Ξ > τ+/τ−), the
@@ -59,11 +79,21 @@ let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
    of it) must not be checked on other families: a truncated run can
    be admissible while a message still in flight — e.g. the targeted
    scheduler's stretched link — would close an inadmissible cycle
-   right after the budget ran out. *)
+   right after the budget ran out.  A fault plan that rewrites delays
+   voids the Θ certificate; the deferring adversary's certificate
+   reasons about the exact message set, so any plan voids it. *)
 let complete_execution_admissible case =
   match case.Gen.c_sched with
-  | Gen.S_theta _ | Gen.S_deferring _ -> true
+  | Gen.S_theta _ -> plan_theta_safe case.Gen.c_plan
+  | Gen.S_deferring _ -> case.Gen.c_plan = []
   | _ -> false
+
+(* Gate for the positive theorem oracles (their statements quantify
+   over n >= 3f + 1): at the resilience boundary the bounds are
+   expected to break, and witnessing that is the job of the
+   [boundary-*] oracles below. *)
+let positive ctx k =
+  if ctx.case.Gen.c_boundary then Skip "resilience-boundary case (n = 3f)" else k ()
 
 (* Messages between correct processes that were delivered and
    processed: the deliveries that actually drive the protocols.  Gates
@@ -106,7 +136,9 @@ let o_theta_admissible =
       (fun ctx ->
         match ctx.case.Gen.c_sched with
         | Gen.S_theta _ ->
-            if Lazy.force ctx.adm then Pass
+            if not (plan_theta_safe ctx.case.Gen.c_plan) then
+              Skip "fault plan overrides scheduler delays"
+            else if Lazy.force ctx.adm then Pass
             else
               failf "Theta execution not admissible for Xi = %s"
                 (Rat.to_string ctx.case.Gen.c_xi)
@@ -121,7 +153,9 @@ let o_defer_admissible =
       (fun ctx ->
         match ctx.case.Gen.c_sched with
         | Gen.S_deferring _ ->
-            if Lazy.force ctx.adm then Pass
+            if ctx.case.Gen.c_plan <> [] then
+              Skip "fault plan tampers with the adversary's message set"
+            else if Lazy.force ctx.adm then Pass
             else
               failf "deferring-adversary execution violates its own Xi = %s"
                 (Rat.to_string ctx.case.Gen.c_xi)
@@ -143,8 +177,12 @@ let clock_input ctx r =
    (a stretched targeted link, say) can break the theorem's bound
    while the truncated graph still looks admissible. *)
 let clock_hypothesis ctx (r : (_, _) Sim.result) k =
-  if complete_execution_admissible ctx.case || r.Sim.undelivered = 0 then k ()
-  else Skip "messages in flight: complete execution not certified admissible"
+  positive ctx (fun () ->
+      if not (plan_preserves_delivery ctx.case.Gen.c_plan) then
+        Skip "fault plan drops or misdirects messages"
+      else if complete_execution_admissible ctx.case || r.Sim.undelivered = 0 then
+        k ()
+      else Skip "messages in flight: complete execution not certified admissible")
 
 let o_clock_progress =
   {
@@ -153,6 +191,10 @@ let o_clock_progress =
     check =
       (fun ctx ->
         match ctx.run with
+        | Gen.R_clock _ when ctx.case.Gen.c_boundary ->
+            Skip "resilience-boundary case (n = 3f)"
+        | Gen.R_clock _ when not (plan_preserves_delivery ctx.case.Gen.c_plan) ->
+            Skip "fault plan drops or misdirects messages"
         | Gen.R_clock r ->
             let n = ctx.case.Gen.c_nprocs in
             if faithful_deliveries r < n * (n + 3) then
@@ -255,6 +297,10 @@ let o_lockstep =
     check =
       (fun ctx ->
         match ctx.run with
+        | Gen.R_lockstep _ when ctx.case.Gen.c_boundary ->
+            Skip "resilience-boundary case (n = 3f)"
+        | Gen.R_lockstep _ when not (plan_preserves_delivery ctx.case.Gen.c_plan) ->
+            Skip "fault plan drops or misdirects messages"
         | Gen.R_lockstep r -> (
             if not (complete_execution_admissible ctx.case) then
               Skip "scheduler does not bound the complete execution"
@@ -281,6 +327,10 @@ let o_consensus =
     check =
       (fun ctx ->
         match ctx.run with
+        | Gen.R_consensus _ when ctx.case.Gen.c_boundary ->
+            Skip "resilience-boundary case (n = 3f)"
+        | Gen.R_consensus _ when not (plan_preserves_delivery ctx.case.Gen.c_plan) ->
+            Skip "fault plan drops or misdirects messages"
         | Gen.R_consensus (r, inputs) ->
             if not (complete_execution_admissible ctx.case) then
               Skip "scheduler does not bound the complete execution"
@@ -344,6 +394,72 @@ let o_delay_assignment =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Resilience-boundary oracles: the paper's bounds are TIGHT at
+   n = 3f, and these witness it.  The polarity is inverted on purpose:
+   a witnessed violation of the (here inapplicable) n >= 3f + 1
+   theorem is reported as [Fail], so the whole failure machinery —
+   shrinking, repro lines, golden replays — works on witnesses
+   unchanged, and a boundary campaign that finds {e no} witness shows
+   up loudly in the report. *)
+
+let o_boundary_precision =
+  {
+    name = "boundary-precision";
+    theorem =
+      "Thm 2 tightness: at n = 3f an equivocator can push skew beyond 2Xi";
+    check =
+      (fun ctx ->
+        if not ctx.case.Gen.c_boundary then Skip "resilience-boundary cases only"
+        else
+          match ctx.run with
+          | Gen.R_clock r ->
+              let input =
+                {
+                  Clock_sync.result = r;
+                  correct = Gen.correct_procs ctx.case;
+                  xi = ctx.case.Gen.c_xi;
+                }
+              in
+              let bound = Rat.floor_int (Rat.mul Rat.two ctx.case.Gen.c_xi) in
+              let skew = Clock_sync.max_skew_on_cuts input in
+              if skew > bound then
+                failf "WITNESS: skew %d > 2Xi = %d at n = 3f (Xi = %s)" skew bound
+                  (Rat.to_string ctx.case.Gen.c_xi)
+              else Pass
+          | _ -> Skip "clock boundary cases only");
+  }
+
+let o_boundary_agreement =
+  {
+    name = "boundary-agreement";
+    theorem = "EIG tightness: at n = 3f an equivocator can break agreement";
+    check =
+      (fun ctx ->
+        if not ctx.case.Gen.c_boundary then Skip "resilience-boundary cases only"
+        else
+          match ctx.run with
+          | Gen.R_consensus (r, _) -> (
+              let decisions =
+                List.filter_map
+                  (fun p ->
+                    match
+                      Consensus.Eig.decision (Lockstep.round_state r.Sim.final_states.(p))
+                    with
+                    | Some v -> Some (p, v)
+                    | None -> None)
+                  (Gen.correct_procs ctx.case)
+              in
+              match decisions with
+              | (p, v) :: rest -> (
+                  match List.find_opt (fun (_, v') -> v' <> v) rest with
+                  | Some (q, v') ->
+                      failf "WITNESS: p%d decided %d but p%d decided %d at n = 3f" p v q v'
+                  | None -> Pass)
+              | [] -> Pass)
+          | _ -> Skip "eig boundary cases only");
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let registry =
   [
@@ -357,6 +473,8 @@ let registry =
     o_lockstep;
     o_consensus;
     o_delay_assignment;
+    o_boundary_precision;
+    o_boundary_agreement;
   ]
 
 (** Run the case once and apply every oracle.  A crash anywhere in the

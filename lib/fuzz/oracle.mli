@@ -31,9 +31,19 @@ val registry : t list
 (** The default oracles: Θ/deferring admissibility (Thm 6, Def 4),
     clock progress (Thm 1), precision on consistent and real-time cuts
     (Thms 2-3), causal cone (Lemma 4), bounded progress (Thm 4),
-    lock-step rounds (Thm 5), EIG consensus agreement + validity, and
+    lock-step rounds (Thm 5), EIG consensus agreement + validity,
     delay-assignment existence with [1 < τ(e) < Ξ] on the full graph
-    and its half prefix (Thm 7). *)
+    and its half prefix (Thm 7), and the two resilience-boundary
+    oracles [boundary-precision] / [boundary-agreement].
+
+    The positive theorem oracles skip on boundary cases ([n = 3f]) and
+    on cases whose fault plan voids their hypothesis (drop/misdirect
+    break reliable delivery; delay overrides and duplicates void the Θ
+    certificate of the scheduler).  The boundary oracles run only on
+    boundary cases and have inverted polarity: a {e witnessed
+    violation} of the corresponding [n ≥ 3f + 1] bound is reported as
+    [Fail], so shrinking, repro lines and golden replays work on
+    witnesses unchanged. *)
 
 val evaluate : t list -> Gen.case -> (string * outcome) list
 (** Run the case once, apply every oracle.  Results start with the

@@ -7,6 +7,9 @@
 
     with rationals in {!Rat.to_string} form (`a/b` or `a`), faults via
     {!Sim.fault_to_string}, and scheduler parameters `:`-separated.
+    Two optional trailing fields appear only when non-default:
+    `p=<plan>` carries a message-level fault plan
+    ({!Sim.plan_to_string}) and `b=1` marks a resilience-boundary case.
     [of_string (to_string c) = c] exactly, and replaying a line reruns
     the identical execution ({!Gen.run_case} is deterministic). *)
 
@@ -31,13 +34,17 @@ let string_of_sched (s : Gen.sched_spec) =
       Printf.sprintf "defer:%d:%d" victim_sender victim_dst
 
 let to_string (c : Gen.case) =
-  Printf.sprintf "%s;s=%d;n=%d;f=%s;xi=%s;w=%s;d=%s;e=%d" version c.Gen.c_seed
+  Printf.sprintf "%s;s=%d;n=%d;f=%s;xi=%s;w=%s;d=%s;e=%d%s%s" version c.Gen.c_seed
     c.Gen.c_nprocs
     (String.concat "," (Array.to_list (Array.map Sim.fault_to_string c.Gen.c_faults)))
     (Rat.to_string c.Gen.c_xi)
     (Gen.workload_name c.Gen.c_workload)
     (string_of_sched c.Gen.c_sched)
     c.Gen.c_max_events
+    (* optional fields are omitted when at their defaults, so pre-nemesis
+       lines round-trip byte-identically *)
+    (if c.Gen.c_plan = [] then "" else ";p=" ^ Sim.plan_to_string c.Gen.c_plan)
+    (if c.Gen.c_boundary then ";b=1" else "")
 
 (* ------------------------------------------------------------------ *)
 (* Parsing *)
@@ -144,8 +151,33 @@ let of_string line =
       let* c_sched = sched_of_string d in
       let* e = find "e" in
       let* c_max_events = int_field "e" e in
+      let* c_plan =
+        match List.assoc_opt "p" kvs with
+        | None -> Ok []
+        | Some p -> (
+            match Sim.plan_of_string p with
+            | Some plan when plan <> [] -> Ok plan
+            | Some [] -> Error "field p: empty plan (omit the field instead)"
+            | _ -> Error (Printf.sprintf "field p: bad fault plan %S" p))
+      in
+      let* c_boundary =
+        match List.assoc_opt "b" kvs with
+        | None -> Ok false
+        | Some "1" -> Ok true
+        | Some b -> Error (Printf.sprintf "field b: expected 1, got %S" b)
+      in
       Gen.validate
-        { Gen.c_seed; c_nprocs; c_faults; c_xi; c_sched; c_workload; c_max_events }
+        {
+          Gen.c_seed;
+          c_nprocs;
+          c_faults;
+          c_xi;
+          c_sched;
+          c_workload;
+          c_max_events;
+          c_plan;
+          c_boundary;
+        }
   | v :: _ -> Error (Printf.sprintf "unknown case format %S (expected %s)" v version)
   | [] -> Error "empty case"
 

@@ -12,6 +12,9 @@ let render_case_block buf indent case =
 let render (o : Campaign.outcome) =
   let buf = Buffer.create 1024 in
   bprintf buf "fuzz campaign: seed=%d cases=%d" o.Campaign.cp_seed o.Campaign.cp_cases_run;
+  (* the marker appears only on boundary campaigns, so pre-nemesis
+     reports are byte-identical *)
+  if o.Campaign.cp_boundary then bprintf buf " boundary=n=3f";
   if o.Campaign.cp_cases_run <> o.Campaign.cp_cases_requested then
     bprintf buf " (requested %d, stopped by time budget)" o.Campaign.cp_cases_requested;
   bprintf buf "\n";

@@ -67,9 +67,19 @@ let candidates (c : Gen.case) : Gen.case list =
           { c with Gen.c_faults = faults }
         in
         (match f with
-        | Sim.Byzantine -> [ with_fault Sim.Correct; with_fault (Sim.Crash 2) ]
+        | Sim.Byzantine _ -> [ with_fault Sim.Correct; with_fault (Sim.Crash 2) ]
         | Sim.Crash k when k > 1 -> [ with_fault Sim.Correct; with_fault (Sim.Crash (k / 2)) ]
         | _ -> [ with_fault Sim.Correct ])
+  in
+  let shrink_plan =
+    match c.Gen.c_plan with
+    | [] -> []
+    | plan ->
+        let half =
+          List.filteri (fun i _ -> 2 * i < List.length plan) plan
+        in
+        { c with Gen.c_plan = [] }
+        :: (if List.length half < List.length plan then [ { c with Gen.c_plan = half } ] else [])
   in
   let q = Rat.of_ints in
   let tame_sched =
@@ -108,7 +118,7 @@ let candidates (c : Gen.case) : Gen.case list =
   dedup_cases
     (List.filter
        (fun c' -> c' <> c && Result.is_ok (Gen.validate c'))
-       (event_cands @ weaken_faults @ drop_proc @ tame_sched))
+       (event_cands @ shrink_plan @ weaken_faults @ drop_proc @ tame_sched))
 
 type result = {
   shrunk : Gen.case;

@@ -19,9 +19,11 @@
 
     The simulator records two execution graphs:
     - [graph]: the paper's space–time diagram, with every message sent
-      by a faulty process dropped along with its send step and its
-      receive event (this is the graph the ABC synchrony condition
-      (Definition 4) constrains);
+      by a Byzantine process dropped along with its send step and its
+      receive event, and every receive event a faulty receiver failed
+      to process dropped too (such events are causally inert — no state
+      change, no sends — so they lie on no relevant cycle and this is
+      the graph the ABC synchrony condition (Definition 4) constrains);
     - [full_graph]: everything, used for uniform analyses
       (cf. the remark after Theorem 5).
 
@@ -46,25 +48,150 @@ type fault =
   | Correct
   | Crash of int
       (** [Crash k]: behaves correctly for its first [k] computing steps
-          (including the wake-up), then stops processing *)
-  | Byzantine  (** runs the experiment-supplied byzantine algorithm *)
+          (including the wake-up), then stops processing.
+
+          Boundary semantics, pinned: [Crash 0] crashes {e before} the
+          wake-up step.  The process still has a well-defined initial
+          state (the one [init] would compute), but it sends nothing —
+          its wake-up broadcast is lost with the crash — and, because
+          the faithful graph records only computing steps actually
+          taken, it appears in {e no} faithful-graph node. *)
+  | Recover of int * int
+      (** [Recover (k_down, k_up)]: correct for its first [k_down]
+          computing steps, then down — messages arriving while down are
+          received but not processed (and dropped from the faithful
+          graph) — until [k_up] messages have been lost, after which it
+          resumes processing with its pre-crash state (amnesia-free
+          crash-recovery). *)
+  | Send_omission of int
+      (** [Send_omission k]: processes every message normally, but from
+          its [(k+1)]-th computing step on (wake-up counts as step 1)
+          every message it posts is silently dropped.  [Send_omission 0]
+          never gets a message out. *)
+  | Receive_omission of int
+      (** [Receive_omission j], [j >= 1]: fails to process every [j]-th
+          message it receives (the wake-up is exempt, so the process
+          always starts).  The lost receive events are dropped from the
+          faithful graph. *)
+  | Byzantine of string
+      (** runs the per-process byzantine algorithm from the config's
+          strategy table.  The string is an opaque strategy name carried
+          through serialization (lowercase alphanumerics; [""] is the
+          conventional "silent" strategy) — the simulator itself only
+          dispatches on the table. *)
+
+let valid_strategy_name s =
+  String.for_all (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) s
 
 let fault_to_string = function
   | Correct -> "C"
   | Crash k -> "K" ^ string_of_int k
-  | Byzantine -> "B"
+  | Recover (kd, ku) -> Printf.sprintf "R%d-%d" kd ku
+  | Send_omission k -> "SO" ^ string_of_int k
+  | Receive_omission j -> "RO" ^ string_of_int j
+  | Byzantine name -> "B" ^ name
+
+let nonneg_int_of_string s =
+  match int_of_string_opt s with Some k when k >= 0 -> Some k | _ -> None
 
 let fault_of_string s =
+  let tail i = String.sub s i (String.length s - i) in
   match s with
   | "C" -> Some Correct
-  | "B" -> Some Byzantine
-  | _ when String.length s >= 2 && s.[0] = 'K' -> (
-      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
-      | Some k when k >= 0 -> Some (Crash k)
+  | _ when String.length s >= 2 && s.[0] = 'S' && s.[1] = 'O' -> (
+      match nonneg_int_of_string (tail 2) with
+      | Some k -> Some (Send_omission k)
+      | None -> None)
+  | _ when String.length s >= 2 && s.[0] = 'R' && s.[1] = 'O' -> (
+      match nonneg_int_of_string (tail 2) with
+      | Some j when j >= 1 -> Some (Receive_omission j)
       | _ -> None)
+  | _ when String.length s >= 2 && s.[0] = 'K' -> (
+      match nonneg_int_of_string (tail 1) with
+      | Some k -> Some (Crash k)
+      | None -> None)
+  | _ when String.length s >= 2 && s.[0] = 'R' -> (
+      match String.index_opt s '-' with
+      | Some i when i >= 2 && i < String.length s - 1 -> (
+          match
+            ( nonneg_int_of_string (String.sub s 1 (i - 1)),
+              nonneg_int_of_string (tail (i + 1)) )
+          with
+          | Some kd, Some ku when ku >= 1 -> Some (Recover (kd, ku))
+          | _ -> None)
+      | _ -> None)
+  | _ when String.length s >= 1 && s.[0] = 'B' ->
+      let name = tail 1 in
+      if valid_strategy_name name then Some (Byzantine name) else None
   | _ -> None
 
 let pp_fault fmt f = Format.pp_print_string fmt (fault_to_string f)
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans *)
+
+(** Message-level fault action, keyed on the global [msg_index] of the
+    posted message; composable with any scheduler. *)
+type plan_action =
+  | P_drop  (** the message is silently lost *)
+  | P_duplicate of Rat.t
+      (** delivered normally, plus a second copy arriving the given
+          extra delay after the first *)
+  | P_misdirect of int  (** rerouted to the given destination *)
+  | P_delay of Rat.t
+      (** the scheduler's delay is overridden with this one (ignored by
+          {!run_deferring}, whose time is logical) *)
+
+type fault_plan = (int * plan_action) list
+
+let plan_action_to_string = function
+  | P_drop -> "drop"
+  | P_duplicate r -> "dup" ^ Rat.to_string r
+  | P_misdirect d -> "to" ^ string_of_int d
+  | P_delay r -> "dl" ^ Rat.to_string r
+
+let plan_to_string plan =
+  String.concat ","
+    (List.map (fun (i, a) -> Printf.sprintf "%d:%s" i (plan_action_to_string a)) plan)
+
+let plan_action_of_string s =
+  let tail i = String.sub s i (String.length s - i) in
+  let rat_of t = try Some (Rat.of_string t) with _ -> None in
+  if s = "drop" then Some P_drop
+  else if String.length s > 3 && String.sub s 0 3 = "dup" then
+    match rat_of (tail 3) with
+    | Some r when Rat.sign r >= 0 -> Some (P_duplicate r)
+    | _ -> None
+  else if String.length s > 2 && String.sub s 0 2 = "to" then
+    match nonneg_int_of_string (tail 2) with
+    | Some d -> Some (P_misdirect d)
+    | None -> None
+  else if String.length s > 2 && String.sub s 0 2 = "dl" then
+    match rat_of (tail 2) with
+    | Some r when Rat.sign r >= 0 -> Some (P_delay r)
+    | _ -> None
+  else None
+
+let plan_of_string s =
+  if s = "" then Some []
+  else
+    let entries = String.split_on_char ',' s in
+    let rec parse acc seen = function
+      | [] -> Some (List.rev acc)
+      | e :: rest -> (
+          match String.index_opt e ':' with
+          | None -> None
+          | Some i -> (
+              match
+                ( nonneg_int_of_string (String.sub e 0 i),
+                  plan_action_of_string
+                    (String.sub e (i + 1) (String.length e - i - 1)) )
+              with
+              | Some idx, Some a when not (List.mem idx seen) ->
+                  parse ((idx, a) :: acc) (idx :: seen) rest
+              | _ -> None))
+    in
+    parse [] [] entries
 
 (** Scheduler: assigns a non-negative rational delay to each message.
     [msg_index] is a global dense counter, usable for adversarial
@@ -91,14 +218,20 @@ type ('s, 'm) result = {
   trace : 's trace_entry array;  (** indexed by full-graph event id *)
   delivered : int;  (** number of receive events simulated *)
   undelivered : int;  (** messages still in flight when the run stopped *)
+  posted : int;  (** wake-ups + messages emitted by steps + duplicate copies *)
+  dropped : int;
+      (** messages lost to send-omission or a plan's [P_drop]; the run
+          maintains [posted = delivered + undelivered + dropped] *)
 }
 
 type ('s, 'm) config = {
   nprocs : int;
   algorithm : ('s, 'm) algorithm;
-  byzantine : ('s, 'm) algorithm option;
-      (** behaviour of [Byzantine] processes; defaults to silence *)
+  byzantine : (int -> ('s, 'm) algorithm) option;
+      (** per-process strategy table for [Byzantine] processes, indexed
+          by process id *)
   faults : fault array;
+  plan : fault_plan;  (** message-level fault actions keyed on [msg_index] *)
   scheduler : 'm scheduler;
   max_events : int;  (** hard cap on simulated receive events *)
   stop_when : 's array -> bool;  (** checked after every processed step *)
@@ -106,12 +239,40 @@ type ('s, 'm) config = {
 
 let default_stop _ = false
 
-let make_config ?byzantine ?(stop_when = default_stop) ~nprocs ~algorithm ~faults
-    ~scheduler ~max_events () =
+let is_byz_fault = function Byzantine _ -> true | _ -> false
+
+let make_config ?byzantine ?(plan = []) ?(stop_when = default_stop) ~nprocs ~algorithm
+    ~faults ~scheduler ~max_events () =
   if Array.length faults <> nprocs then invalid_arg "Sim.make_config: faults size";
-  if Array.exists (fun f -> f = Byzantine) faults && byzantine = None then
+  if Array.exists is_byz_fault faults && byzantine = None then
     invalid_arg "Sim.make_config: Byzantine faults require a byzantine algorithm";
-  { nprocs; algorithm; byzantine; faults; scheduler; max_events; stop_when }
+  Array.iter
+    (fun f ->
+      match f with
+      | Byzantine name when not (valid_strategy_name name) ->
+          invalid_arg "Sim.make_config: invalid byzantine strategy name"
+      | Receive_omission j when j < 1 ->
+          invalid_arg "Sim.make_config: Receive_omission needs j >= 1"
+      | Recover (kd, ku) when kd < 0 || ku < 1 ->
+          invalid_arg "Sim.make_config: Recover needs k_down >= 0 and k_up >= 1"
+      | Crash k when k < 0 -> invalid_arg "Sim.make_config: negative crash step"
+      | Send_omission k when k < 0 ->
+          invalid_arg "Sim.make_config: negative send-omission step"
+      | _ -> ())
+    faults;
+  List.iter
+    (fun (idx, a) ->
+      if idx < 0 then invalid_arg "Sim.make_config: plan: negative msg_index";
+      match a with
+      | P_misdirect d when d < 0 || d >= nprocs ->
+          invalid_arg "Sim.make_config: plan: misdirect target out of range"
+      | P_delay r when Rat.sign r < 0 ->
+          invalid_arg "Sim.make_config: plan: negative delay override"
+      | P_duplicate r when Rat.sign r < 0 ->
+          invalid_arg "Sim.make_config: plan: negative duplicate delay"
+      | _ -> ())
+    plan;
+  { nprocs; algorithm; byzantine; faults; plan; scheduler; max_events; stop_when }
 
 (* In-flight message. *)
 type 'm envelope = {
@@ -132,26 +293,72 @@ end)
 
 (** Run a configuration to completion (queue exhausted, event cap hit,
     or [stop_when] satisfied). *)
+(* Shared per-run fault bookkeeping: decides, with side effects, whether
+   the receiver of the next delivery processes it.  Must be called
+   exactly once per delivery, before the step executes. *)
+type fault_state = {
+  fs_steps : int array;  (* computing steps executed (wake-up included) *)
+  fs_recv_seen : int array;  (* non-wake-up deliveries, for Receive_omission *)
+  fs_down_drops : int array;  (* messages lost while down, for Recover *)
+}
+
+let make_fault_state n =
+  {
+    fs_steps = Array.make n 0;
+    fs_recv_seen = Array.make n 0;
+    fs_down_drops = Array.make n 0;
+  }
+
+let will_process fs faults p ~is_wakeup =
+  match faults.(p) with
+  | Correct | Byzantine _ | Send_omission _ -> true
+  | Crash k -> fs.fs_steps.(p) < k
+  | Receive_omission j ->
+      if is_wakeup then true
+      else begin
+        fs.fs_recv_seen.(p) <- fs.fs_recv_seen.(p) + 1;
+        fs.fs_recv_seen.(p) mod j <> 0
+      end
+  | Recover (k_down, k_up) ->
+      if fs.fs_steps.(p) < k_down then true
+      else if fs.fs_down_drops.(p) < k_up then begin
+        fs.fs_down_drops.(p) <- fs.fs_down_drops.(p) + 1;
+        false
+      end
+      else true (* recovered: resumes with its pre-crash state *)
+
+(* does the sender's current step (already counted in fs_steps) lose its
+   posts to a send-omission fault? *)
+let sends_omitted fs faults p =
+  match faults.(p) with Send_omission k -> fs.fs_steps.(p) > k | _ -> false
+
+let byz_algo cfg p =
+  match cfg.faults.(p) with
+  | Byzantine _ -> (Option.get cfg.byzantine) p (* validated in make_config *)
+  | _ -> cfg.algorithm
+
+(** Run a configuration to completion (queue exhausted, event cap hit,
+    or [stop_when] satisfied). *)
 let run (cfg : ('s, 'm) config) : ('s, 'm) result =
   let n = cfg.nprocs in
   let graph = Graph.create ~nprocs:n in
   let full_graph = Graph.create ~nprocs:n in
   let states : 's option array = Array.make n None in
-  let steps_executed = Array.make n 0 in
+  let fs = make_fault_state n in
   let trace = ref [] in
   let agenda = ref Agenda.empty in
   let counter = ref 0 in
   let msg_index = ref 0 in
-  let is_byz p = cfg.faults.(p) = Byzantine in
-  let crashed p =
-    match cfg.faults.(p) with Crash k -> steps_executed.(p) >= k | _ -> false
-  in
+  let posted = ref 0 in
+  let dropped = ref 0 in
+  let is_byz p = is_byz_fault cfg.faults.(p) in
   let post time env =
     incr counter;
     agenda := Agenda.add (time, !counter) env !agenda
   in
   (* Wake-up messages, all at time 0, before anything else. *)
   for p = 0 to n - 1 do
+    incr posted;
     post Rat.zero
       {
         env_sender = -1;
@@ -169,8 +376,15 @@ let run (cfg : ('s, 'm) config) : ('s, 'm) result =
     let p = env.env_dst in
     (* Record the receive event. *)
     let _full_ev = Graph.add_event ~time full_graph ~proc:p in
+    incr delivered;
+    let is_wakeup = env.env_sender = -1 in
+    let processes = will_process fs cfg.faults p ~is_wakeup in
+    (* The faithful graph keeps only computing steps actually taken:
+       unprocessed deliveries are causally inert (no state change, no
+       sends), so no relevant cycle passes through them and dropping
+       them leaves ABC admissibility untouched. *)
     let faithful_id =
-      if env.env_sender_correct then begin
+      if processes && env.env_sender_correct then begin
         let ev = Graph.add_event ~time graph ~proc:p in
         (match env.env_send_faithful with
         | Some src -> ignore (Graph.add_message graph ~src ~dst:ev.Event.id)
@@ -179,33 +393,27 @@ let run (cfg : ('s, 'm) config) : ('s, 'm) result =
       end
       else None
     in
-    incr delivered;
-    (* Execute the computing step, unless the receiver has crashed. *)
     let processed, state_after, sends =
-      if crashed p then
-        if env.env_sender = -1 && states.(p) = None then begin
-          (* a process that crashes before its very first step still
-             has a well-defined initial state — it just never acts on
-             it (its wake-up broadcast is lost with the crash) *)
-          let algo = if is_byz p then Option.get cfg.byzantine else cfg.algorithm in
-          let s, _suppressed = algo.init ~self:p ~nprocs:n in
+      if not processes then
+        if is_wakeup && states.(p) = None then begin
+          (* a process that is down before its very first step still has
+             a well-defined initial state — it just never acts on it
+             (its wake-up broadcast is lost) *)
+          let s, _suppressed = (byz_algo cfg p).init ~self:p ~nprocs:n in
           (false, Some s, [])
         end
         else (false, states.(p), [])
       else begin
-        let algo =
-          if is_byz p then Option.get cfg.byzantine (* validated in make_config *)
-          else cfg.algorithm
-        in
+        let algo = byz_algo cfg p in
         match (env.env_sender, env.env_payload, states.(p)) with
         | -1, None, _ ->
             (* wake-up: the very first step *)
             let s, out = algo.init ~self:p ~nprocs:n in
-            steps_executed.(p) <- steps_executed.(p) + 1;
+            fs.fs_steps.(p) <- fs.fs_steps.(p) + 1;
             (true, Some s, out)
         | sender, Some payload, Some s ->
             let s', out = algo.step ~self:p ~nprocs:n s ~sender payload in
-            steps_executed.(p) <- steps_executed.(p) + 1;
+            fs.fs_steps.(p) <- fs.fs_steps.(p) + 1;
             (true, Some s', out)
         | _, Some _, None ->
             (* message arrived before the wake-up: the paper assumes the
@@ -217,24 +425,41 @@ let run (cfg : ('s, 'm) config) : ('s, 'm) result =
       end
     in
     states.(p) <- state_after;
-    (* Post the step's messages. *)
+    (* Post the step's messages, through send-omission and the plan. *)
     let sender_correct_now = not (is_byz p) in
+    let omitting = processed && sends_omitted fs cfg.faults p in
     List.iter
       (fun { dst; payload } ->
         let idx = !msg_index in
         incr msg_index;
-        let d =
-          cfg.scheduler.delay ~sender:p ~dst ~send_time:time ~msg_index:idx ~payload
-        in
-        if Rat.sign d < 0 then invalid_arg "Sim.run: negative delay";
-        post (Rat.add time d)
-          {
-            env_sender = p;
-            env_dst = dst;
-            env_payload = Some payload;
-            env_send_faithful = (if sender_correct_now then faithful_id else None);
-            env_sender_correct = sender_correct_now;
-          })
+        incr posted;
+        if omitting then incr dropped
+        else begin
+          let enqueue ~dst ~delay =
+            if Rat.sign delay < 0 then invalid_arg "Sim.run: negative delay";
+            post (Rat.add time delay)
+              {
+                env_sender = p;
+                env_dst = dst;
+                env_payload = Some payload;
+                env_send_faithful = (if sender_correct_now then faithful_id else None);
+                env_sender_correct = sender_correct_now;
+              }
+          in
+          let sched_delay ~dst =
+            cfg.scheduler.delay ~sender:p ~dst ~send_time:time ~msg_index:idx ~payload
+          in
+          match List.assoc_opt idx cfg.plan with
+          | None -> enqueue ~dst ~delay:(sched_delay ~dst)
+          | Some P_drop -> incr dropped
+          | Some (P_misdirect d) -> enqueue ~dst:d ~delay:(sched_delay ~dst:d)
+          | Some (P_delay r) -> enqueue ~dst ~delay:r
+          | Some (P_duplicate extra) ->
+              let d = sched_delay ~dst in
+              enqueue ~dst ~delay:d;
+              incr posted;
+              enqueue ~dst ~delay:(Rat.add d extra)
+        end)
       sends;
     trace :=
       {
@@ -267,6 +492,8 @@ let run (cfg : ('s, 'm) config) : ('s, 'm) result =
     trace = Array.of_list (List.rev !trace);
     delivered = !delivered;
     undelivered = Agenda.cardinal !agenda;
+    posted = !posted;
+    dropped = !dropped;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -398,15 +625,16 @@ let run_deferring (cfg : ('s, 'm) config) ~xi
   let graph = Graph.create ~nprocs:n in
   let full_graph = Graph.create ~nprocs:n in
   let states : 's option array = Array.make n None in
-  let steps_executed = Array.make n 0 in
+  let fs = make_fault_state n in
   let trace = ref [] in
   let pending : 'm envelope list ref = ref [] in
   let deferred : 'm envelope list ref = ref [] in
-  let is_byz p = cfg.faults.(p) = Byzantine in
-  let crashed p =
-    match cfg.faults.(p) with Crash k -> steps_executed.(p) >= k | _ -> false
-  in
+  let msg_index = ref 0 in
+  let posted = ref 0 in
+  let dropped = ref 0 in
+  let is_byz p = is_byz_fault cfg.faults.(p) in
   for p = 0 to n - 1 do
+    incr posted;
     pending :=
       !pending
       @ [
@@ -450,8 +678,10 @@ let run_deferring (cfg : ('s, 'm) config) ~xi
     let time = Rat.of_int !delivered in
     let _full_ev = Graph.add_event ~time full_graph ~proc:env.env_dst in
     let p = env.env_dst in
+    let is_wakeup = env.env_sender = -1 in
+    let processes = will_process fs cfg.faults p ~is_wakeup in
     let faithful_id =
-      if env.env_sender_correct then begin
+      if processes && env.env_sender_correct then begin
         let ev = Graph.add_event ~time graph ~proc:p in
         (match env.env_send_faithful with
         | Some src -> ignore (Graph.add_message graph ~src ~dst:ev.Event.id)
@@ -462,42 +692,61 @@ let run_deferring (cfg : ('s, 'm) config) ~xi
     in
     incr delivered;
     let processed, state_after, sends =
-      if crashed p then
-        if env.env_sender = -1 && states.(p) = None then begin
-          let algo = if is_byz p then Option.get cfg.byzantine else cfg.algorithm in
-          let s, _ = algo.init ~self:p ~nprocs:n in
+      if not processes then
+        if is_wakeup && states.(p) = None then begin
+          let s, _ = (byz_algo cfg p).init ~self:p ~nprocs:n in
           (false, Some s, [])
         end
         else (false, states.(p), [])
       else begin
-        let algo = if is_byz p then Option.get cfg.byzantine else cfg.algorithm in
+        let algo = byz_algo cfg p in
         match (env.env_sender, env.env_payload, states.(p)) with
         | -1, None, _ ->
             let s, out = algo.init ~self:p ~nprocs:n in
-            steps_executed.(p) <- steps_executed.(p) + 1;
+            fs.fs_steps.(p) <- fs.fs_steps.(p) + 1;
             (true, Some s, out)
         | sender, Some payload, Some s ->
             let s', out = algo.step ~self:p ~nprocs:n s ~sender payload in
-            steps_executed.(p) <- steps_executed.(p) + 1;
+            fs.fs_steps.(p) <- fs.fs_steps.(p) + 1;
             (true, Some s', out)
         | _ -> assert false
       end
     in
     states.(p) <- state_after;
     let sender_correct_now = not (is_byz p) in
+    let omitting = processed && sends_omitted fs cfg.faults p in
     List.iter
       (fun { dst; payload } ->
-        let env' =
-          {
-            env_sender = p;
-            env_dst = dst;
-            env_payload = Some payload;
-            env_send_faithful = (if sender_correct_now then faithful_id else None);
-            env_sender_correct = sender_correct_now;
-          }
-        in
-        if sender_correct_now && victim ~sender:p ~dst then deferred := !deferred @ [ env' ]
-        else pending := !pending @ [ env' ])
+        let idx = !msg_index in
+        incr msg_index;
+        incr posted;
+        if omitting then incr dropped
+        else begin
+          let enqueue ~dst =
+            let env' =
+              {
+                env_sender = p;
+                env_dst = dst;
+                env_payload = Some payload;
+                env_send_faithful = (if sender_correct_now then faithful_id else None);
+                env_sender_correct = sender_correct_now;
+              }
+            in
+            if sender_correct_now && victim ~sender:p ~dst then
+              deferred := !deferred @ [ env' ]
+            else pending := !pending @ [ env' ]
+          in
+          (* [P_delay] is meaningless here — time is logical — so the
+             override degrades to normal queueing. *)
+          match List.assoc_opt idx cfg.plan with
+          | None | Some (P_delay _) -> enqueue ~dst
+          | Some P_drop -> incr dropped
+          | Some (P_misdirect d) -> enqueue ~dst:d
+          | Some (P_duplicate _) ->
+              enqueue ~dst;
+              incr posted;
+              enqueue ~dst
+        end)
       sends;
     trace :=
       {
@@ -563,4 +812,6 @@ let run_deferring (cfg : ('s, 'm) config) ~xi
     trace = Array.of_list (List.rev !trace);
     delivered = !delivered;
     undelivered = List.length !pending + List.length !deferred;
+    posted = !posted;
+    dropped = !dropped;
   }

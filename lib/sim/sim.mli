@@ -19,8 +19,9 @@
 
     The simulator records two execution graphs: the {e faithful} graph
     — the paper's space–time diagram, with every message sent by a
-    faulty process dropped along with its send step and its receive
-    event (the graph the ABC synchrony condition of Definition 4
+    Byzantine process dropped along with its send step and its receive
+    event, and every receive event a faulty receiver failed to process
+    dropped too (the graph the ABC synchrony condition of Definition 4
     constrains) — and the {e full} graph with everything, for uniform
     analyses. *)
 
@@ -39,17 +40,71 @@ type fault =
   | Correct
   | Crash of int
       (** [Crash k]: behaves correctly for its first [k] computing steps
-          (including the wake-up), then stops processing *)
-  | Byzantine  (** runs the experiment-supplied byzantine algorithm *)
+          (including the wake-up), then stops processing.
+
+          Boundary semantics, pinned: [Crash 0] crashes {e before} the
+          wake-up step.  The process still has a well-defined initial
+          state (the one [init] would compute), but it sends nothing —
+          its wake-up broadcast is lost with the crash — and it appears
+          in {e no} faithful-graph node. *)
+  | Recover of int * int
+      (** [Recover (k_down, k_up)]: correct for its first [k_down]
+          computing steps, then down — arriving messages are received
+          but not processed — until [k_up] messages have been lost,
+          after which it resumes processing with its pre-crash state
+          (amnesia-free crash-recovery).  Requires [k_up >= 1]. *)
+  | Send_omission of int
+      (** [Send_omission k]: processes normally, but from its
+          [(k+1)]-th computing step on (wake-up counts as step 1) every
+          message it posts is silently dropped. *)
+  | Receive_omission of int
+      (** [Receive_omission j], [j >= 1]: fails to process every [j]-th
+          received message (the wake-up is exempt). *)
+  | Byzantine of string
+      (** runs the per-process strategy from the config's byzantine
+          table.  The string is an opaque strategy name (lowercase
+          alphanumerics; [""] conventionally means "silent") carried
+          through serialization — see [Byz] for the named palette. *)
+
+val valid_strategy_name : string -> bool
+(** Whether a byzantine strategy name is serializable: lowercase
+    alphanumerics only (no wire separators). *)
 
 val fault_to_string : fault -> string
-(** Compact serialization: ["C"], ["K<k>"] (crash after [k] steps) or
-    ["B"] — the wire form used by fuzz-case repro lines. *)
+(** Compact serialization: ["C"], ["K<k>"], ["R<kd>-<ku>"], ["SO<k>"],
+    ["RO<j>"], or ["B<name>"] — the wire form used by fuzz-case repro
+    lines. *)
 
 val fault_of_string : string -> fault option
 (** Inverse of {!fault_to_string}; [None] on malformed input. *)
 
 val pp_fault : Format.formatter -> fault -> unit
+
+(** {1 Fault plans} *)
+
+(** Message-level fault action, applied to the message whose global
+    [msg_index] it is keyed on; composable with any scheduler. *)
+type plan_action =
+  | P_drop  (** silently lost *)
+  | P_duplicate of Rat.t
+      (** delivered normally plus a copy arriving the given extra delay
+          after the first (under {!run_deferring}, the copy is simply
+          queued after the original) *)
+  | P_misdirect of int  (** rerouted to the given destination *)
+  | P_delay of Rat.t
+      (** scheduler delay overridden with this one (no-op under
+          {!run_deferring}, whose time is logical) *)
+
+type fault_plan = (int * plan_action) list
+(** Actions keyed by [msg_index]; at most one action per index. *)
+
+val plan_to_string : fault_plan -> string
+(** Wire form, e.g. ["5:drop,9:dup2,14:to0,21:dl7/2"] (empty string for
+    the empty plan). *)
+
+val plan_of_string : string -> fault_plan option
+(** Inverse of {!plan_to_string}; [None] on malformed input or
+    duplicate indices. *)
 
 (** Scheduler: assigns a non-negative rational delay to each message.
     [msg_index] is a global dense counter, usable for adversarial
@@ -77,20 +132,27 @@ type ('s, 'm) result = {
   trace : 's trace_entry array;  (** indexed by full-graph event id *)
   delivered : int;  (** number of receive events simulated *)
   undelivered : int;  (** messages still in flight when the run stopped *)
+  posted : int;  (** wake-ups + messages emitted by steps + duplicate copies *)
+  dropped : int;
+      (** messages lost to send-omission or a plan's [P_drop];
+          [posted = delivered + undelivered + dropped] always holds *)
 }
 
 type ('s, 'm) config = {
   nprocs : int;
   algorithm : ('s, 'm) algorithm;
-  byzantine : ('s, 'm) algorithm option;
+  byzantine : (int -> ('s, 'm) algorithm) option;
+      (** per-process strategy table for [Byzantine] processes *)
   faults : fault array;
+  plan : fault_plan;
   scheduler : 'm scheduler;
   max_events : int;  (** hard cap on simulated receive events *)
   stop_when : 's array -> bool;  (** checked after every processed step *)
 }
 
 val make_config :
-  ?byzantine:('s, 'm) algorithm ->
+  ?byzantine:(int -> ('s, 'm) algorithm) ->
+  ?plan:fault_plan ->
   ?stop_when:('s array -> bool) ->
   nprocs:int ->
   algorithm:('s, 'm) algorithm ->
@@ -99,8 +161,10 @@ val make_config :
   max_events:int ->
   unit ->
   ('s, 'm) config
-(** Validates sizes and that [Byzantine] faults come with a byzantine
-    algorithm.  @raise Invalid_argument otherwise. *)
+(** Validates sizes, fault parameters, that [Byzantine] faults come
+    with a strategy table, and the plan (indices >= 0, misdirect
+    targets in range, delays non-negative).
+    @raise Invalid_argument otherwise. *)
 
 val run : ('s, 'm) config -> ('s, 'm) result
 (** Run to completion: agenda exhausted, event cap hit, or [stop_when]

@@ -43,9 +43,9 @@ let unit_tests =
               (Clock_sync.clock result.Sim.final_states.(p) > 5))
           (correct_of faults));
     Alcotest.test_case "thm1: progress with f=1 byzantine rusher, n=4" `Quick (fun () ->
-        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |] in
+        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "rush" |] in
         let result =
-          run ~faults:(Some faults) ~byz:(Some (Clock_sync.byzantine_rusher ~ahead:7)) ()
+          run ~faults:(Some faults) ~byz:(Some (fun _ -> Clock_sync.byzantine_rusher ~ahead:7)) ()
         in
         List.iter
           (fun p ->
@@ -63,10 +63,10 @@ let unit_tests =
           (Printf.sprintf "skew %d <= %d" skew bound)
           true (skew <= bound));
     Alcotest.test_case "thm2: skew bound with byzantine rusher" `Quick (fun () ->
-        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |] in
+        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "rush" |] in
         let result =
           run ~faults:(Some faults) ~max_events:250
-            ~byz:(Some (Clock_sync.byzantine_rusher ~ahead:9)) ()
+            ~byz:(Some (fun _ -> Clock_sync.byzantine_rusher ~ahead:9)) ()
         in
         let x = xi 5 2 in
         let input = { Clock_sync.result; correct = [ 0; 1; 2 ]; xi = x } in
@@ -90,11 +90,11 @@ let unit_tests =
         Alcotest.(check int) "no violations" 0 (List.length violations));
     Alcotest.test_case "lemma 4: causal cone with crash + byzantine mix" `Quick (fun () ->
         let faults =
-          [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 10; Sim.Byzantine |]
+          [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 10; Sim.Byzantine "rush" |]
         in
         let result =
           run ~nprocs:7 ~f:2 ~faults:(Some faults) ~max_events:500
-            ~byz:(Some (Clock_sync.byzantine_rusher ~ahead:5)) ()
+            ~byz:(Some (fun _ -> Clock_sync.byzantine_rusher ~ahead:5)) ()
         in
         let input =
           { Clock_sync.result; correct = [ 0; 1; 2; 3; 4 ]; xi = xi 5 2 }
@@ -121,11 +121,11 @@ let property_tests =
           match seed mod 3 with
           | 0 -> [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Correct |]
           | 1 -> [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash (seed mod 7) |]
-          | _ -> [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |]
+          | _ -> [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "rush" |]
         in
         let byz =
-          if Array.exists (fun f -> f = Sim.Byzantine) faults then
-            Some (Clock_sync.byzantine_rusher ~ahead:(1 + (seed mod 6)))
+          if Array.exists (function Sim.Byzantine _ -> true | _ -> false) faults then
+            Some (fun _ -> Clock_sync.byzantine_rusher ~ahead:(1 + (seed mod 6)))
           else None
         in
         let result = run ~seed ~faults:(Some faults) ~byz ~max_events:200 () in

@@ -122,7 +122,7 @@ let lockstep_tests =
         agree "agreement" decisions (Array.to_list inputs));
     Alcotest.test_case "eig over lock-step: byzantine liar, n=4 f=1" `Quick (fun () ->
         let inputs = [| 1; 1; 1; 0 |] in
-        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |] in
+        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "liar" |] in
         let byz_algo =
           (* participates in clock sync but relays junk values; its
              round state must share the Eig state type *)
@@ -138,7 +138,7 @@ let lockstep_tests =
                   (st, List.init round (fun i -> ([ (self + i) mod 4 ], i mod 2))));
             }
         in
-        let r = lockstep_consensus ~inputs ~faults ~byz:byz_algo () in
+        let r = lockstep_consensus ~inputs ~faults ~byz:(fun _ -> byz_algo) () in
         let decisions =
           List.map
             (fun p -> (p, Consensus.Eig.decision (Lockstep.round_state r.Sim.final_states.(p))))

@@ -17,6 +17,24 @@ let roundtrip_tests =
                 Alcotest.failf "seed %d: round-trip changed the case: %s" seed line
           | Error e -> Alcotest.failf "seed %d: %s does not parse back: %s" seed line e
         done);
+    Alcotest.test_case "boundary cases round-trip and validate" `Quick (fun () ->
+        for seed = 300 to 349 do
+          let c = Gen.generate_boundary ~seed in
+          (match Gen.validate c with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "seed %d: invalid boundary case: %s" seed e);
+          if not c.Gen.c_boundary then
+            Alcotest.failf "seed %d: boundary flag not set" seed;
+          if c.Gen.c_nprocs <> 3 * Gen.nfaulty c then
+            Alcotest.failf "seed %d: boundary case is not at n = 3f" seed;
+          let line = Replay.to_string c in
+          match Replay.of_string line with
+          | Ok c' ->
+              if c' <> c then
+                Alcotest.failf "seed %d: boundary round-trip changed the case: %s" seed
+                  line
+          | Error e -> Alcotest.failf "seed %d: %s does not parse back: %s" seed line e
+        done);
     Alcotest.test_case "generated cases validate" `Quick (fun () ->
         for seed = 100 to 199 do
           match Gen.validate (Gen.generate ~seed) with
@@ -38,6 +56,12 @@ let roundtrip_tests =
             "abc1;s=1;n=4;f=C,C,C,C;xi=2;w=tea;d=theta:1:2;e=100";
             "abc1;s=1;n=4;f=C,C,C,C;xi=2;w=clock;d=theta:1;e=100";
             "abc1;s=1;n=4;f=C,C,C,B;xi=2;w=eig;d=defer:0:1;e=100" (* defer+eig *);
+            "abc1;s=1;n=4;f=C,C,C,C;xi=2;w=clock;d=theta:1:2;e=100;p="
+            (* empty p field: omit instead *);
+            "abc1;s=1;n=4;f=C,C,C,C;xi=2;w=clock;d=theta:1:2;e=100;p=5:zap";
+            "abc1;s=1;n=4;f=C,C,C,C;xi=2;w=clock;d=theta:1:2;e=100;b=2";
+            "abc1;s=1;n=4;f=C,C,C,Beq;xi=2;w=clock;d=defer:0:1;e=100;b=1"
+            (* boundary flag off the n = 3f line *);
           ]);
   ]
 
@@ -71,12 +95,59 @@ let smoke_tests =
         Alcotest.(check bool)
           "scheduler diversity" true
           (List.length o.Campaign.cp_families >= 4);
-        (* every oracle must achieve real (non-vacuous) coverage *)
+        (* every oracle must achieve real (non-vacuous) coverage —
+           except the boundary-* oracles, which by design only apply to
+           the n = 3f cases of a boundary campaign and skip here *)
         List.iter
           (fun (name, s) ->
-            if s.Campaign.os_pass = 0 then
+            let boundary =
+              String.length name >= 9 && String.sub name 0 9 = "boundary-"
+            in
+            if boundary then begin
+              if s.Campaign.os_skip = 0 then
+                Alcotest.failf "boundary oracle %s never even skipped" name
+            end
+            else if s.Campaign.os_pass = 0 then
               Alcotest.failf "oracle %s never passed (vacuous coverage)" name)
           o.Campaign.cp_stats);
+    Alcotest.test_case "boundary campaign witnesses both violation kinds" `Slow
+      (fun () ->
+        let o = Campaign.run ~shrink:false ~boundary:true ~cases:50 ~seed:1 () in
+        let fails name =
+          match List.assoc_opt name o.Campaign.cp_stats with
+          | Some s -> s.Campaign.os_fail
+          | None -> Alcotest.failf "oracle %s missing from the registry" name
+        in
+        Alcotest.(check bool) "precision violated at n = 3f" true
+          (fails "boundary-precision" > 0);
+        Alcotest.(check bool) "EIG agreement violated at n = 3f" true
+          (fails "boundary-agreement" > 0);
+        (* positive oracles must not fire on boundary cases: every
+           failure of a boundary campaign names a boundary-* oracle *)
+        List.iter
+          (fun f ->
+            if
+              not
+                (String.length f.Campaign.fl_oracle >= 9
+                && String.sub f.Campaign.fl_oracle 0 9 = "boundary-")
+            then
+              Alcotest.failf "non-boundary oracle %s fired on a boundary case: %s"
+                f.Campaign.fl_oracle f.Campaign.fl_detail)
+          o.Campaign.cp_failures;
+        (* each witness replays byte-identically and re-fails *)
+        List.iter
+          (fun f ->
+            let line = Replay.to_string f.Campaign.fl_case in
+            match Replay.replay line with
+            | Error e -> Alcotest.failf "witness does not replay: %s" e
+            | Ok (c, results) ->
+                Alcotest.(check string) "byte-identical replay line" line
+                  (Replay.to_string c);
+                if not (List.mem_assoc f.Campaign.fl_oracle (Oracle.failures results))
+                then
+                  Alcotest.failf "replayed witness no longer fails %s"
+                    f.Campaign.fl_oracle)
+          o.Campaign.cp_failures);
   ]
 
 (* An intentionally broken test-only oracle: fails as soon as the run
@@ -123,6 +194,28 @@ let shrink_tests =
             Alcotest.(check bool)
               "still fails the same oracle" true
               (List.mem_assoc "test-no-events" (Oracle.failures results)));
+    Alcotest.test_case "shrinking preserves boundary witnesses" `Slow (fun () ->
+        (* the two golden witness lines: shrinking must keep the case
+           failing the same boundary oracle (and keep it valid) *)
+        List.iter
+          (fun (line, oracle) ->
+            match Replay.of_string line with
+            | Error e -> Alcotest.failf "witness line does not parse: %s" e
+            | Ok case ->
+                let r = Shrink.shrink ~oracles:Oracle.registry ~oracle case in
+                (match Gen.validate r.Shrink.shrunk with
+                | Ok _ -> ()
+                | Error e -> Alcotest.failf "shrunk witness invalid: %s" e);
+                let results = Oracle.evaluate Oracle.registry r.Shrink.shrunk in
+                if not (List.mem_assoc oracle (Oracle.failures results)) then
+                  Alcotest.failf "shrunk case no longer fails %s: %s" oracle
+                    (Replay.to_string r.Shrink.shrunk))
+          [
+            ( "abc1;s=515953530;n=3;f=C,C,Beq;xi=5/2;w=eig;d=theta:1:2;e=500;b=1",
+              "boundary-agreement" );
+            ( "abc1;s=1054795105;n=3;f=C,C,Beq;xi=5/2;w=clock;d=defer:0:1;e=116;b=1",
+              "boundary-precision" );
+          ]);
     Alcotest.test_case "candidates are valid and strictly different" `Quick
       (fun () ->
         for seed = 0 to 30 do

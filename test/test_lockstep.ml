@@ -56,10 +56,10 @@ let unit_tests =
         Alcotest.(check bool) "nontrivial" true (checked > 0);
         Alcotest.(check int) "no violations" 0 (List.length violations));
     Alcotest.test_case "thm5: lock-step with a byzantine liar" `Quick (fun () ->
-        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |] in
+        let faults = [| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "liar" |] in
         let byz = Lockstep.algorithm ~f:1 ~xi:(q 5 2) lying_round_algo in
         let result, _ =
-          run_lockstep ~faults:(Some faults) ~byz:(Some byz) counting_round_algo
+          run_lockstep ~faults:(Some faults) ~byz:(Some (fun _ -> byz)) counting_round_algo
         in
         let correct = correct_of faults in
         let checked, violations = Lockstep.lockstep_violations result ~correct in

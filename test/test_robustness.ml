@@ -6,6 +6,23 @@ open Execgraph
 
 let q = Rat.of_ints
 
+(* A chatty echo algorithm for exercising the fault machinery: the
+   wake-up broadcasts 0, and every received value below 2 is
+   re-broadcast incremented, so runs generate a steady message flow
+   until [max_events] cuts them off. *)
+let chatter : (int, int) Sim.algorithm =
+  let broadcast ~self ~nprocs v =
+    List.filter_map
+      (fun dst -> if dst = self then None else Some { Sim.dst; payload = v })
+      (List.init nprocs Fun.id)
+  in
+  {
+    init = (fun ~self ~nprocs -> (0, broadcast ~self ~nprocs 0));
+    step =
+      (fun ~self ~nprocs st ~sender:_ v ->
+        (st + 1, if v < 2 then broadcast ~self ~nprocs (v + 1) else []));
+  }
+
 let raises_invalid name f =
   Alcotest.(check bool) name true
     (match f () with
@@ -60,8 +77,53 @@ let unit_tests =
             Sim.make_config ~nprocs:3 ~algorithm:algo ~faults:[| Sim.Correct |]
               ~scheduler:(Sim.constant_scheduler Rat.one) ~max_events:10 ());
         raises_invalid "byzantine without algorithm" (fun () ->
-            Sim.make_config ~nprocs:1 ~algorithm:algo ~faults:[| Sim.Byzantine |]
+            Sim.make_config ~nprocs:1 ~algorithm:algo ~faults:[| Sim.Byzantine "" |]
+              ~scheduler:(Sim.constant_scheduler Rat.one) ~max_events:10 ());
+        raises_invalid "bad strategy name" (fun () ->
+            Sim.make_config ~nprocs:1 ~algorithm:algo
+              ~byzantine:(fun _ -> algo)
+              ~faults:[| Sim.Byzantine "E Q" |]
+              ~scheduler:(Sim.constant_scheduler Rat.one) ~max_events:10 ());
+        raises_invalid "receive-omission j = 0" (fun () ->
+            Sim.make_config ~nprocs:1 ~algorithm:algo
+              ~faults:[| Sim.Receive_omission 0 |]
+              ~scheduler:(Sim.constant_scheduler Rat.one) ~max_events:10 ());
+        raises_invalid "recover k_up = 0" (fun () ->
+            Sim.make_config ~nprocs:1 ~algorithm:algo
+              ~faults:[| Sim.Recover (2, 0) |]
+              ~scheduler:(Sim.constant_scheduler Rat.one) ~max_events:10 ());
+        raises_invalid "plan: negative index" (fun () ->
+            Sim.make_config ~nprocs:1 ~algorithm:algo ~plan:[ (-1, Sim.P_drop) ]
+              ~faults:[| Sim.Correct |]
+              ~scheduler:(Sim.constant_scheduler Rat.one) ~max_events:10 ());
+        raises_invalid "plan: misdirect out of range" (fun () ->
+            Sim.make_config ~nprocs:2 ~algorithm:algo
+              ~plan:[ (0, Sim.P_misdirect 5) ]
+              ~faults:[| Sim.Correct; Sim.Correct |]
               ~scheduler:(Sim.constant_scheduler Rat.one) ~max_events:10 ()));
+    Alcotest.test_case "Crash 0 crashes before the wake-up" `Quick (fun () ->
+        (* Pinned boundary semantics: a [Crash 0] process never takes
+           its wake-up step, so its broadcast is lost and it owns no
+           faithful-graph node — but its state is still the one [init]
+           computes. *)
+        let r =
+          Sim.run
+            (Sim.make_config ~nprocs:3 ~algorithm:chatter
+               ~faults:[| Sim.Crash 0; Sim.Correct; Sim.Correct |]
+               ~scheduler:(Sim.constant_scheduler Rat.one) ~max_events:60 ())
+        in
+        for i = 0 to Graph.event_count r.Sim.graph - 1 do
+          Alcotest.(check bool) "no faithful node at p0" true
+            ((Graph.event r.Sim.graph i).Event.proc <> 0)
+        done;
+        Array.iter
+          (fun te ->
+            Alcotest.(check bool) "no message from p0 delivered" true
+              (te.Sim.tr_sender <> 0))
+          r.Sim.trace;
+        Alcotest.(check int) "p0 keeps its initial state" 0 r.Sim.final_states.(0);
+        Alcotest.(check bool) "survivors still run" true
+          (r.Sim.final_states.(1) > 0 && r.Sim.final_states.(2) > 0));
     Alcotest.test_case "cycle ratio on non-relevant cycles rejected" `Quick (fun () ->
         let g = Graph.create ~nprocs:1 in
         let a = Graph.add_event g ~proc:0 in
@@ -106,6 +168,98 @@ let property_tests =
           Sim.run_deferring cfg ~xi ~victim:(fun ~sender ~dst:_ -> sender = seed mod 4)
         in
         Abc_check.is_admissible r.Sim.graph ~xi && Graph.is_dag r.Sim.graph);
+    prop "message accounting holds under every fault variant" 60
+      (QCheck.int_range 0 1_000_000)
+      (fun seed ->
+        let seed = abs seed in
+        let fault =
+          match seed mod 6 with
+          | 0 -> Sim.Correct
+          | 1 -> Sim.Crash (seed / 6 mod 4)
+          | 2 -> Sim.Send_omission (seed / 6 mod 4)
+          | 3 -> Sim.Receive_omission (1 + (seed / 6 mod 3))
+          | 4 -> Sim.Recover (seed / 6 mod 3, 1 + (seed / 6 mod 3))
+          | _ -> Sim.Byzantine "mute"
+        in
+        let faults = Array.make 4 Sim.Correct in
+        faults.(seed mod 4) <- fault;
+        let plan =
+          match seed mod 5 with
+          | 0 -> []
+          | 1 -> [ (seed mod 7, Sim.P_drop) ]
+          | 2 -> [ (seed mod 7, Sim.P_duplicate Rat.one) ]
+          | 3 -> [ (seed mod 7, Sim.P_misdirect (seed mod 4)) ]
+          | _ -> [ (seed mod 7, Sim.P_delay (q 3 2)) ]
+        in
+        let silent : (int, int) Sim.algorithm =
+          { init = (fun ~self:_ ~nprocs:_ -> (0, [])); step = (fun ~self:_ ~nprocs:_ s ~sender:_ _ -> (s, [])) }
+        in
+        let r =
+          Sim.run
+            (Sim.make_config ~nprocs:4 ~algorithm:chatter
+               ~byzantine:(fun _ -> silent) ~plan ~faults
+               ~scheduler:(Sim.constant_scheduler Rat.one) ~max_events:80 ())
+        in
+        r.Sim.posted = r.Sim.delivered + r.Sim.undelivered + r.Sim.dropped);
+    prop "extended fault wire forms round-trip" 120
+      (QCheck.int_range 0 1_000_000)
+      (fun seed ->
+        let seed = abs seed in
+        let fault =
+          match seed mod 6 with
+          | 0 -> Sim.Correct
+          | 1 -> Sim.Crash (seed / 6 mod 12)
+          | 2 -> Sim.Send_omission (seed / 6 mod 12)
+          | 3 -> Sim.Receive_omission (1 + (seed / 6 mod 9))
+          | 4 -> Sim.Recover (seed / 6 mod 9, 1 + (seed / 6 mod 9))
+          | _ ->
+              let names = [| ""; "eq"; "lag2"; "rush3"; "mim1"; "rnd7" |] in
+              Sim.Byzantine names.(seed / 6 mod Array.length names)
+        in
+        Sim.fault_of_string (Sim.fault_to_string fault) = Some fault);
+    prop "fault plans round-trip through the wire form" 120
+      (QCheck.int_range 0 1_000_000)
+      (fun seed ->
+        let seed = abs seed in
+        let mix i = (seed * 48271) + (i * 2654435761) land 0x3FFFFFFF in
+        let action i =
+          let s = abs (mix i) in
+          match s mod 4 with
+          | 0 -> Sim.P_drop
+          | 1 -> Sim.P_duplicate (q (1 + (s / 4 mod 5)) (1 + (s / 16 mod 3)))
+          | 2 -> Sim.P_misdirect (s / 4 mod 4)
+          | _ -> Sim.P_delay (q (s / 4 mod 7) (1 + (s / 16 mod 4)))
+        in
+        let stride = 1 + (seed mod 3) in
+        let plan =
+          List.init (seed mod 5) (fun i -> ((i * stride) + (seed mod 4), action i))
+        in
+        Sim.plan_of_string (Sim.plan_to_string plan) = Some plan);
   ]
 
-let suite = unit_tests @ property_tests
+let malformed_wire_tests =
+  [
+    Alcotest.test_case "malformed fault plans rejected" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) (Printf.sprintf "rejected %S" s) true
+              (Sim.plan_of_string s = None))
+          [
+            "5";
+            "5:";
+            ":drop";
+            "5:zap";
+            "x:drop";
+            "5:dl";
+            "5:to";
+            "5:toX";
+            "5:dup";
+            "5:dup1/0";
+            "5:drop,5:dup1";
+            "5:drop,";
+            ",";
+            "-1:drop";
+          ]);
+  ]
+
+let suite = unit_tests @ malformed_wire_tests @ property_tests

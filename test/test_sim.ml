@@ -77,9 +77,13 @@ let unit_tests =
         let r = run ~faults:(Some faults) () in
         (* p1 woke (1 step) then crashed: its state never relays *)
         Alcotest.(check bool) "p1 did not relay" false r.Sim.final_states.(1).relayed;
-        (* but receive events at p1 exist in the graph *)
+        (* receive events at p1 still exist in the full graph... *)
         Alcotest.(check bool) "p1 has receive events" true
-          (List.length (Graph.events_of_proc r.Sim.graph 1) > 1);
+          (List.length (Graph.events_of_proc r.Sim.full_graph 1) > 1);
+        (* ...but the faithful graph keeps only the processed wake-up:
+           unprocessed deliveries are causally inert *)
+        Alcotest.(check int) "faithful keeps only processed steps" 1
+          (List.length (Graph.events_of_proc r.Sim.graph 1));
         (* and unprocessed trace entries are flagged *)
         Alcotest.(check bool) "unprocessed entries exist" true
           (Array.exists
@@ -92,7 +96,7 @@ let unit_tests =
         Alcotest.(check (list (pair int int))) "saw nothing" [] r.Sim.final_states.(1).seen);
     Alcotest.test_case "byzantine-sent messages dropped from faithful graph" `Quick
       (fun () ->
-        let faults = [| Sim.Correct; Sim.Byzantine; Sim.Correct |] in
+        let faults = [| Sim.Correct; Sim.Byzantine "flood"; Sim.Correct |] in
         let byz : (echo_state, msg) Sim.algorithm =
           {
             init =
@@ -102,7 +106,7 @@ let unit_tests =
             step = (fun ~self:_ ~nprocs:_ s ~sender:_ _ -> (s, []));
           }
         in
-        let r = run ~faults:(Some faults) ~byz () in
+        let r = run ~faults:(Some faults) ~byz:(fun _ -> byz) () in
         (* the byzantine broadcast reached everyone in the full graph
            but none of its messages appear in the faithful one *)
         Alcotest.(check bool) "full has more events" true
@@ -145,14 +149,14 @@ let unit_tests =
           (fun () ->
             ignore
               (Sim.make_config ~nprocs:4 ~algorithm:echo
-                 ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |]
+                 ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "x" |]
                  ~scheduler:(Sim.constant_scheduler (q 1 1))
                  ~max_events:10 ())));
     Alcotest.test_case "make_config accepts Byzantine with a byz algorithm" `Quick
       (fun () ->
         let cfg =
-          Sim.make_config ~byzantine:echo ~nprocs:4 ~algorithm:echo
-            ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine |]
+          Sim.make_config ~byzantine:(fun _ -> echo) ~nprocs:4 ~algorithm:echo
+            ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Byzantine "" |]
             ~scheduler:(Sim.constant_scheduler (q 1 1))
             ~max_events:50 ()
         in
@@ -164,11 +168,26 @@ let unit_tests =
             Alcotest.(check bool)
               "round-trip" true
               (Sim.fault_of_string (Sim.fault_to_string f) = Some f))
-          [ Sim.Correct; Sim.Byzantine; Sim.Crash 0; Sim.Crash 7 ];
+          [
+            Sim.Correct;
+            Sim.Byzantine "";
+            Sim.Byzantine "eq";
+            Sim.Byzantine "rush4";
+            Sim.Crash 0;
+            Sim.Crash 7;
+            Sim.Send_omission 0;
+            Sim.Send_omission 5;
+            Sim.Receive_omission 1;
+            Sim.Receive_omission 4;
+            Sim.Recover (0, 1);
+            Sim.Recover (5, 6);
+          ];
         List.iter
           (fun s ->
-            Alcotest.(check bool) "rejected" true (Sim.fault_of_string s = None))
-          [ ""; "X"; "K"; "K-1"; "Kx"; "CC" ]);
+            Alcotest.(check bool) (Printf.sprintf "rejected %S" s) true
+              (Sim.fault_of_string s = None))
+          [ ""; "X"; "K"; "K-1"; "Kx"; "CC"; "SO"; "SOx"; "RO"; "RO0"; "R1";
+            "R-1"; "R1-0"; "R1-"; "BEQ"; "B eq"; "Beq!" ]);
     Alcotest.test_case "negative delays are rejected" `Quick (fun () ->
         let scheduler =
           { Sim.delay = (fun ~sender:_ ~dst:_ ~send_time:_ ~msg_index:_ ~payload:_ -> q (-1) 1) }
