@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz boundary check check-par bench reports clean
+.PHONY: all build test fuzz boundary check check-par mc-smoke bench reports clean
 
 # Cases for the parallel determinism check; override with
 # `make check-par CASES=1000` for the full acceptance run.
@@ -33,6 +33,16 @@ check: build test fuzz boundary
 check-par: build
 	dune exec bench/main.exe -- pool --cases $(CASES) --jobs 4 --seed 1 --out BENCH_pool.json
 	dune exec test/test_main.exe -- test pool -q
+
+# Model-checker smoke (< 60 s): exhaustively explore a small box with
+# the --no-dpor cross-check (DPOR and naive search must agree on every
+# class and verdict), then a DPOR-only run at a budget the naive
+# search could not finish, and the mc bench (exits non-zero if the
+# modes disagree or the reduction ratio is <= 1).
+mc-smoke: build
+	dune exec bin/abc_cli.exe -- mc --procs 3 --budget 6 --cross-check --jobs 1
+	dune exec bin/abc_cli.exe -- mc --procs 3 --budget 8 --jobs 1
+	dune exec bench/main.exe -- mc --out BENCH_mc.json
 
 reports: build
 	dune exec bench/main.exe -- reports

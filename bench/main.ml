@@ -804,6 +804,7 @@ let bench_tests () =
               c_max_events = 150;
               c_plan = [];
               c_boundary = false;
+              c_schedule = [];
             }
           in
           fun () -> List.length (Fuzz.Oracle.evaluate Fuzz.Oracle.registry case)));
@@ -1097,10 +1098,87 @@ let run_byz_bench ~out =
 (* Argument parsing: no cmdliner here (the harness predates it and the
    grammar is three words); unknown flags fail loudly. *)
 
+(* ------------------------------------------------------------------ *)
+(* Model-checker benchmark: DPOR vs naive on a fixed exhaustively
+   explorable box -> BENCH_mc.json.  Records states/sec, the reduction
+   ratio, and the verdict cross-check; exits 1 if the two modes
+   disagree or DPOR fails to reduce. *)
+
+let mc_bench_box ~nprocs ~budget =
+  {
+    Fuzz.Gen.c_seed = 1;
+    c_nprocs = nprocs;
+    c_faults = Array.make nprocs Sim.Correct;
+    c_xi = q 2 1;
+    c_sched = Fuzz.Gen.S_async { max_delay = Rat.one };
+    c_workload = Fuzz.Gen.W_clock;
+    c_max_events = budget;
+    c_plan = [];
+    c_boundary = false;
+    c_schedule = [];
+  }
+
+let run_mc_bench ~nprocs ~budget ~out =
+  let case = mc_bench_box ~nprocs ~budget in
+  Format.printf "mc bench: n=%d budget=%d (clock, async box)@." nprocs budget;
+  let point ~dpor =
+    let t0 = Pool.now () in
+    let o = Mc.Driver.run ~dpor ~jobs:1 case in
+    let wall = Pool.now () -. t0 in
+    Format.printf "  %-5s %d executions, %d classes, %d deliveries, %.2fs@."
+      (if dpor then "dpor:" else "naive:")
+      o.Mc.Driver.mc_executions
+      (List.length o.Mc.Driver.mc_classes)
+      o.Mc.Driver.mc_deliveries wall;
+    (o, wall)
+  in
+  let od, wd = point ~dpor:true in
+  let on_, wn = point ~dpor:false in
+  let agree =
+    Mc.Mc_report.render_verdicts od = Mc.Mc_report.render_verdicts on_
+  in
+  let ratio =
+    float_of_int on_.Mc.Driver.mc_executions
+    /. float_of_int od.Mc.Driver.mc_executions
+  in
+  Format.printf "  verdicts agree: %b; reduction ratio: %.2fx@." agree ratio;
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "{\n";
+  Printf.bprintf buf "  \"bench\": \"mc\",\n";
+  Printf.bprintf buf "  \"box\": %S,\n" (Fuzz.Replay.to_string case);
+  Printf.bprintf buf "  \"verdicts_agree\": %b,\n" agree;
+  Printf.bprintf buf "  \"reduction_ratio\": %.4f,\n" ratio;
+  Printf.bprintf buf "  \"modes\": [\n";
+  List.iteri
+    (fun i ((o : Mc.Driver.outcome), wall) ->
+      Printf.bprintf buf
+        "    { \"mode\": %S, \"executions\": %d, \"classes\": %d, \
+         \"sleep_blocked\": %d, \"deliveries\": %d, \"wall_s\": %.4f, \
+         \"states_per_s\": %.1f }%s\n"
+        (if o.Mc.Driver.mc_dpor then "dpor" else "naive")
+        o.Mc.Driver.mc_executions
+        (List.length o.Mc.Driver.mc_classes)
+        o.Mc.Driver.mc_sleep_blocked o.Mc.Driver.mc_deliveries wall
+        (float_of_int o.Mc.Driver.mc_executions /. wall)
+        (if i = 1 then "" else ","))
+    [ (od, wd); (on_, wn) ];
+  Printf.bprintf buf "  ]\n}\n";
+  write_file out (Buffer.contents buf);
+  Format.printf "  written to %s@." out;
+  if not agree then begin
+    Format.eprintf "error: dpor and naive verdicts disagree@.";
+    exit 1
+  end;
+  if ratio <= 1.0 then begin
+    Format.eprintf "error: no reduction (ratio %.2f <= 1)@." ratio;
+    exit 1
+  end
+
 let usage () =
   prerr_endline
     "usage: main.exe [reports [SECTION...] [-j N]] | [pool [--cases N] \
-     [--jobs N] [--seed N] [--out FILE]] | [rat [--out FILE]] | [byz [--out FILE]]";
+     [--jobs N] [--seed N] [--out FILE]] | [rat [--out FILE]] | [byz [--out \
+     FILE]] | [mc [--procs N] [--budget B] [--out FILE]]";
   exit 2
 
 let int_arg name = function
@@ -1158,6 +1236,19 @@ let () =
         | _ -> usage ()
       in
       go ~out:"BENCH_byz.json" rest
+  | _ :: "mc" :: rest ->
+      let rec go ~nprocs ~budget ~out = function
+        | [] -> run_mc_bench ~nprocs ~budget ~out
+        | "--procs" :: rest ->
+            let nprocs, rest = int_arg "--procs" rest in
+            go ~nprocs ~budget ~out rest
+        | "--budget" :: rest ->
+            let budget, rest = int_arg "--budget" rest in
+            go ~nprocs ~budget ~out rest
+        | "--out" :: file :: rest -> go ~nprocs ~budget ~out:file rest
+        | _ -> usage ()
+      in
+      go ~nprocs:3 ~budget:6 ~out:"BENCH_mc.json" rest
   | [ _ ] ->
       run_reports ();
       run_benchmarks ()

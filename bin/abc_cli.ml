@@ -323,20 +323,38 @@ let cmd_omega =
 (* ------------------------------------------------------------------ *)
 (* fuzz *)
 
+let list_oracle_registry () =
+  List.iter
+    (fun (o : Fuzz.Oracle.t) ->
+      Format.printf "%-18s %s@." o.Fuzz.Oracle.name o.Fuzz.Oracle.theorem)
+    Fuzz.Oracle.registry
+
 let cmd_fuzz =
-  let run cases seed time_budget replay emit no_shrink list_oracles jobs timing
+  let run cases seed time_budget replay emit no_shrink oracle_spec jobs timing
       boundary expect_violations =
-    if list_oracles then begin
-      List.iter
-        (fun (o : Fuzz.Oracle.t) ->
-          Format.printf "%-18s %s@." o.Fuzz.Oracle.name o.Fuzz.Oracle.theorem)
-        Fuzz.Oracle.registry;
-      0
-    end
-    else
+    let oracle_selection =
+      match oracle_spec with
+      | None -> Ok None
+      | Some "list" -> Ok (Some [])
+      | Some names -> (
+          match Fuzz.Oracle.select names with
+          | Ok os -> Ok (Some os)
+          | Error e -> Error e)
+    in
+    match (oracle_selection, oracle_spec) with
+    | Error e, _ ->
+        Format.eprintf "error: %s@." e;
+        1
+    | Ok _, Some "list" ->
+        list_oracle_registry ();
+        0
+    | Ok selection, _ -> (
+      let oracles =
+        match selection with None -> Fuzz.Oracle.registry | Some os -> os
+      in
       match (replay, emit) with
       | Some line, _ -> (
-          match Fuzz.Replay.replay line with
+          match Fuzz.Replay.replay ~oracles line with
           | Error e ->
               Format.eprintf "error: %s@." e;
               1
@@ -355,8 +373,8 @@ let cmd_fuzz =
           let time_budget = if time_budget > 0.0 then Some time_budget else None in
           let jobs = if jobs > 0 then Some jobs else None in
           let outcome =
-            Fuzz.Campaign.run ~shrink:(not no_shrink) ~boundary ?time_budget ?jobs
-              ~cases ~seed ()
+            Fuzz.Campaign.run ~oracles ~shrink:(not no_shrink) ~boundary
+              ?time_budget ?jobs ~cases ~seed ()
           in
           print_string (Fuzz.Report.render outcome);
           (* stderr, not stdout: the report stays byte-deterministic *)
@@ -378,7 +396,7 @@ let cmd_fuzz =
             in
             if witnessed then 0 else 1
           else if outcome.Fuzz.Campaign.cp_failures = [] then 0
-          else 1
+          else 1)
   in
   let cases =
     Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc:"Number of cases to run.")
@@ -402,8 +420,16 @@ let cmd_fuzz =
   let no_shrink =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures without shrinking them.")
   in
-  let list_oracles =
-    Arg.(value & flag & info [ "oracles" ] ~doc:"List the theorem oracles, then exit.")
+  let oracle_spec =
+    Arg.(
+      value
+      & opt ~vopt:(Some "list") (some string) None
+      & info [ "oracles" ] ~docv:"NAMES"
+          ~doc:
+            "Bare $(b,--oracles) lists the theorem oracles and exits.  With a \
+             comma-separated value ($(b,--oracles=clock-progress,assign)), run \
+             only the named oracles; an unknown name is an error that lists \
+             the valid ones.")
   in
   let jobs =
     Arg.(
@@ -443,7 +469,7 @@ let cmd_fuzz =
   let term =
     Term.(
       const run $ cases $ seed_arg $ time_budget $ replay $ emit $ no_shrink
-      $ list_oracles $ jobs $ timing $ boundary $ expect_violations)
+      $ oracle_spec $ jobs $ timing $ boundary $ expect_violations)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -451,6 +477,164 @@ let cmd_fuzz =
          "Property-based adversarial fuzzing: random schedulers and fault vectors \
           checked against the paper's theorem oracles, with shrinking and \
           deterministic replay.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* mc *)
+
+let cmd_mc =
+  let run procs xi budget workload faults boundary seed jobs frontier no_dpor
+      cross_check stats =
+    let ( let* ) r f =
+      match r with
+      | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+      | Ok v -> f v
+    in
+    let* workload =
+      match workload with
+      | "clock" -> Ok Fuzz.Gen.W_clock
+      | "lockstep" -> Ok Fuzz.Gen.W_lockstep
+      | "eig" -> Ok Fuzz.Gen.W_consensus
+      | w -> Error (Printf.sprintf "unknown workload %S (clock, lockstep, eig)" w)
+    in
+    let* faults =
+      match faults with
+      | None -> Ok (Array.make procs Sim.Correct)
+      | Some s ->
+          let toks = if s = "" then [] else String.split_on_char ',' s in
+          let rec go acc = function
+            | [] -> Ok (Array.of_list (List.rev acc))
+            | t :: rest -> (
+                match Sim.fault_of_string t with
+                | Some f -> go (f :: acc) rest
+                | None -> Error (Printf.sprintf "bad fault %S" t))
+          in
+          go [] toks
+    in
+    let* () =
+      if budget > Mc.Schedule.max_budget then
+        Error
+          (Printf.sprintf "budget %d above the mc cap %d (HB masks are one int)"
+             budget Mc.Schedule.max_budget)
+      else Ok ()
+    in
+    let* case =
+      Fuzz.Gen.validate
+        {
+          Fuzz.Gen.c_seed = seed;
+          c_nprocs = procs;
+          c_faults = faults;
+          c_xi = xi;
+          c_sched = Fuzz.Gen.S_async { max_delay = Rat.one };
+          c_workload = workload;
+          c_max_events = budget;
+          c_plan = [];
+          c_boundary = boundary;
+          c_schedule = [];
+        }
+    in
+    let jobs = if jobs > 0 then Some jobs else None in
+    let outcome = Mc.Driver.run ~dpor:(not no_dpor) ~frontier ?jobs case in
+    print_string (Mc.Mc_report.render ~stats outcome);
+    let ok = outcome.Mc.Driver.mc_violations = [] in
+    if cross_check && not no_dpor then begin
+      let naive = Mc.Driver.run ~dpor:false ~frontier ?jobs case in
+      let rv = Mc.Mc_report.render_verdicts outcome in
+      let rn = Mc.Mc_report.render_verdicts naive in
+      if rv = rn then begin
+        Format.printf
+          "cross-check: naive search agrees (%d classes; %d dpor vs %d naive \
+           executions)@."
+          (List.length naive.Mc.Driver.mc_classes)
+          outcome.Mc.Driver.mc_executions naive.Mc.Driver.mc_executions;
+        if ok then 0 else 1
+      end
+      else begin
+        Format.printf "cross-check: MISMATCH@.--- dpor ---@.%s--- naive ---@.%s"
+          rv rn;
+        1
+      end
+    end
+    else if ok then 0
+    else 1
+  in
+  let budget =
+    Arg.(
+      value & opt int 8
+      & info [ "budget" ] ~docv:"B"
+          ~doc:"Receive-event budget bounding the exploration depth (max 62).")
+  in
+  let workload =
+    Arg.(
+      value & opt string "clock"
+      & info [ "workload" ] ~docv:"W" ~doc:"Workload: clock, lockstep or eig.")
+  in
+  let faults =
+    Arg.(
+      value & opt (some string) None
+      & info [ "faults" ] ~docv:"F0,F1,..."
+          ~doc:
+            "Per-process fault vector in replay-line syntax (e.g. \
+             $(b,C,C,C,X2)); default all-correct.")
+  in
+  let boundary =
+    Arg.(
+      value & flag
+      & info [ "boundary" ]
+          ~doc:
+            "Accept a resilience-boundary box (n = 3f with an equivocator); \
+             the boundary oracles then witness bound violations as failures.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains sharing the frontier tasks (0 = one per \
+             recommended core).  The report is byte-identical whatever N.")
+  in
+  let frontier =
+    Arg.(
+      value & opt int 2
+      & info [ "frontier" ] ~docv:"D"
+          ~doc:
+            "Frontier depth: prefixes of this length are expanded naively and \
+             explored as independent tasks with DPOR below.")
+  in
+  let no_dpor =
+    Arg.(
+      value & flag
+      & info [ "no-dpor" ]
+          ~doc:
+            "Disable partial-order reduction and sleep sets: enumerate every \
+             interleaving (the exhaustiveness baseline).")
+  in
+  let cross_check =
+    Arg.(
+      value & flag
+      & info [ "cross-check" ]
+          ~doc:
+            "After the DPOR run, re-explore without reduction and require \
+             identical class counts and verdicts.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Include replay-amplification statistics in the report.")
+  in
+  let term =
+    Term.(
+      const run $ procs_arg ~default:3 $ xi_arg $ budget $ workload $ faults
+      $ boundary $ seed_arg $ jobs $ frontier $ no_dpor $ cross_check $ stats)
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Exhaustive bounded model checking: every message-delivery ordering \
+          of a box up to the event budget, reduced by DPOR with sleep sets, \
+          each equivalence class checked against the theorem oracles.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -462,4 +646,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ cmd_check; cmd_threshold; cmd_assign; cmd_simulate; cmd_consensus; cmd_detect; cmd_omega; cmd_fuzz ]))
+          [ cmd_check; cmd_threshold; cmd_assign; cmd_simulate; cmd_consensus; cmd_detect; cmd_omega; cmd_fuzz; cmd_mc ]))

@@ -71,6 +71,11 @@ type case = {
           are allowed — and expected — to break.  Positive theorem
           oracles skip such cases; the boundary oracles fail on them
           exactly when a violation is witnessed. *)
+  c_schedule : int list;
+      (** explicit delivery schedule ([] for none): choice [i] picks
+          the index-[i]th entry of the ready list at step [i] (see
+          {!Sim.run_scheduled}).  Produced by the model checker's
+          counterexample emission; overrides the scheduler entirely. *)
 }
 
 let family_name = function
@@ -132,6 +137,12 @@ let validate c =
       c.c_plan
   then err "plan: misdirect target out of range"
   else if List.exists (fun (i, _) -> i < 0) c.c_plan then err "plan: negative msg_index"
+  else if List.exists (fun k -> k < 0) c.c_schedule then
+    err "schedule: negative choice index"
+  else if
+    c.c_schedule <> []
+    && match c.c_sched with S_deferring _ -> true | _ -> false
+  then err "schedule: the deferring adversary picks its own delivery order"
   else
     let proc_ok p = p >= 0 && p < c.c_nprocs in
     let pos x = Rat.sign x > 0 in
@@ -310,6 +321,7 @@ let generate ~seed =
       c_max_events = max_events;
       c_plan = plan;
       c_boundary = false;
+      c_schedule = [];
     }
   in
   match validate case with
@@ -343,6 +355,7 @@ let generate_boundary ~seed =
         c_max_events = 90 + Random.State.int st 40;
         c_plan = [];
         c_boundary = true;
+        c_schedule = [];
       }
     else
       (* EIG agreement witness: correct inputs forced to (0, 1) — the
@@ -358,6 +371,7 @@ let generate_boundary ~seed =
         c_max_events = 500;
         c_plan = [];
         c_boundary = true;
+        c_schedule = [];
       }
   in
   match validate case with
@@ -420,20 +434,20 @@ let consensus_input c p = (c.c_seed lsr (p mod 24)) land 1
 let strategy_of c p =
   Option.value (Byz.of_fault c.c_faults.(p)) ~default:Byz.Silent
 
-let run_case (c : case) : run =
-  (match validate c with
-  | Ok _ -> ()
-  | Error e -> invalid_arg ("Fuzz.Gen.run_case: " ^ e));
+(* Workload dispatch in CPS: the three workloads have three different
+   (state, message) type pairs, so a caller that wants the config
+   (rather than just the finished run) gets it through a polymorphic
+   handler.  [run_case] and [open_session] share every construction
+   detail (byzantine tables, stop conditions, scheduler) through this
+   single point. *)
+type 'r cfg_handler = {
+  h : 's 'm. ('s, 'm) Sim.config -> (('s, 'm) Sim.result -> run) -> 'r;
+}
+
+let dispatch (c : case) (handler : 'r cfg_handler) : 'r =
   let n = c.c_nprocs in
   let f = nfaulty c in
   let rng = Random.State.make [| 0xD1CE; c.c_seed |] in
-  let exec cfg =
-    match c.c_sched with
-    | S_deferring { victim_sender; victim_dst } ->
-        Sim.run_deferring cfg ~xi:c.c_xi ~victim:(fun ~sender ~dst ->
-            sender = victim_sender && dst = victim_dst)
-    | _ -> Sim.run cfg
-  in
   match c.c_workload with
   | W_clock ->
       let cfg =
@@ -445,7 +459,7 @@ let run_case (c : case) : run =
           ~scheduler:(scheduler_of_spec ~rng c.c_sched)
           ~max_events:c.c_max_events ()
       in
-      R_clock (exec cfg)
+      handler.h cfg (fun r -> R_clock r)
   | W_lockstep ->
       let cfg =
         Sim.make_config
@@ -459,7 +473,7 @@ let run_case (c : case) : run =
           ~scheduler:(scheduler_of_spec ~rng c.c_sched)
           ~max_events:c.c_max_events ()
       in
-      R_lockstep (exec cfg)
+      handler.h cfg (fun r -> R_lockstep r)
   | W_consensus ->
       let inputs = Array.init n (consensus_input c) in
       let algo = Consensus.Eig.algo ~f ~value:(fun p -> inputs.(p)) in
@@ -482,4 +496,61 @@ let run_case (c : case) : run =
               correct)
           ()
       in
-      R_consensus (exec cfg, inputs)
+      handler.h cfg (fun r -> R_consensus (r, inputs))
+
+let run_case (c : case) : run =
+  (match validate c with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Fuzz.Gen.run_case: " ^ e));
+  dispatch c
+    {
+      h =
+        (fun cfg wrap ->
+          if c.c_schedule <> [] then
+            wrap (Sim.run_scheduled cfg ~choices:(Array.of_list c.c_schedule))
+          else
+            match c.c_sched with
+            | S_deferring { victim_sender; victim_dst } ->
+                wrap
+                  (Sim.run_deferring cfg ~xi:c.c_xi ~victim:(fun ~sender ~dst ->
+                       sender = victim_sender && dst = victim_dst))
+            | _ -> wrap (Sim.run cfg));
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Choice-point sessions over cases (the model checker's entry) *)
+
+(** A case opened as an interactive {!Sim.Session}, with the workload's
+    state/message types hidden: the model checker picks deliveries one
+    by one and wraps the terminal execution as a {!run} for the oracle
+    battery.  [ms_run] packages the execution explored {e so far}; call
+    it once, at a maximal point. *)
+type mc_session = {
+  ms_ready : unit -> Sim.Session.info list;
+  ms_deliver : int -> Sim.Session.info;
+  ms_finished : unit -> bool;
+  ms_delivered : unit -> int;
+  ms_envelopes : unit -> int;
+  ms_run : unit -> run;
+}
+
+let open_session (c : case) : mc_session =
+  (match validate c with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Fuzz.Gen.open_session: " ^ e));
+  dispatch c
+    {
+      h =
+        (fun cfg wrap ->
+          let s = Sim.Session.create cfg in
+          {
+            ms_ready = (fun () -> Sim.Session.ready s);
+            ms_deliver = (fun k -> Sim.Session.deliver s k);
+            ms_finished = (fun () -> Sim.Session.finished s);
+            ms_delivered = (fun () -> Sim.Session.delivered s);
+            ms_envelopes = (fun () -> Sim.Session.envelopes s);
+            ms_run =
+              (fun () ->
+                wrap (Sim.Session.result ~allow_unwoken:true ~who:"Fuzz.Gen.open_session" s));
+          });
+    }

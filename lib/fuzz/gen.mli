@@ -45,6 +45,10 @@ type case = {
   c_boundary : bool;
       (** resilience-boundary mode: [n = 3f] with an equivocator, where
           violations of the paper's bounds are expected and witnessed *)
+  c_schedule : int list;
+      (** explicit delivery schedule ([] for none): replayed through
+          {!Sim.run_scheduled}, overriding the scheduler.  Emitted by
+          the model checker's counterexample lines ([sch=] field). *)
 }
 
 val family_name : sched_spec -> string
@@ -106,6 +110,26 @@ val consensus_input : case -> int -> int
     the case seed — no extra serialization needed). *)
 
 val run_case : case -> run
-(** Execute the case ({!Sim.run}, or {!Sim.run_deferring} for
-    [S_deferring]).  Deterministic.  @raise Invalid_argument if the
-    case does not {!validate}. *)
+(** Execute the case ({!Sim.run}; {!Sim.run_deferring} for
+    [S_deferring]; {!Sim.run_scheduled} when [c_schedule] is
+    non-empty).  Deterministic.  @raise Invalid_argument if the case
+    does not {!validate}. *)
+
+(** A case opened as an interactive choice-point session (see
+    {!Sim.Session}), with the workload's state/message types hidden:
+    the model checker inspects the ready list, picks deliveries one by
+    one, and wraps the terminal execution as a {!run} for the oracle
+    battery.  Call [ms_run] once, at a maximal point. *)
+type mc_session = {
+  ms_ready : unit -> Sim.Session.info list;
+  ms_deliver : int -> Sim.Session.info;
+  ms_finished : unit -> bool;
+  ms_delivered : unit -> int;
+  ms_envelopes : unit -> int;
+  ms_run : unit -> run;
+}
+
+val open_session : case -> mc_session
+(** Fresh session for the case (its [c_schedule] is ignored — the
+    caller drives).  @raise Invalid_argument if the case does not
+    {!validate}. *)

@@ -197,8 +197,19 @@ let o_clock_progress =
             Skip "fault plan drops or misdirects messages"
         | Gen.R_clock r ->
             let n = ctx.case.Gen.c_nprocs in
+            let woke p =
+              Array.exists
+                (fun (te : _ Sim.trace_entry) ->
+                  te.Sim.tr_proc = p && te.Sim.tr_sender = -1 && te.Sim.tr_processed)
+                r.Sim.trace
+            in
             if faithful_deliveries r < n * (n + 3) then
               Skip "too few correct-to-correct deliveries for the initial exchange"
+            else if not (List.for_all woke (Gen.correct_procs ctx.case)) then
+              (* an adversarial (model-checked) schedule can starve a
+                 wake-up within the budget; Thm 1 presumes every correct
+                 process eventually takes its first step *)
+              Skip "a correct process's wake-up is still in flight"
             else
               let lagging =
                 List.filter
@@ -477,22 +488,50 @@ let registry =
     o_boundary_agreement;
   ]
 
+(** Apply every oracle to an already-finished run (the model checker
+    evaluates executions it produced itself, one per equivalence
+    class).  An oracle that raises surfaces as a ["no-crash"]-style
+    failure of that oracle rather than escaping the caller. *)
+let evaluate_run oracles case run =
+  let ctx = make_ctx case run in
+  ("no-crash", Pass)
+  :: List.map
+       (fun o ->
+         let outcome = try o.check ctx with e -> Fail (Printexc.to_string e) in
+         (o.name, outcome))
+       oracles
+
 (** Run the case once and apply every oracle.  A crash anywhere in the
     simulation or an oracle surfaces as a failure of the pseudo-oracle
     ["no-crash"] rather than escaping the campaign loop. *)
 let evaluate oracles case =
   match Gen.run_case case with
   | exception e -> [ ("no-crash", Fail (Printexc.to_string e)) ]
-  | run ->
-      let ctx = make_ctx case run in
-      ("no-crash", Pass)
-      :: List.map
-           (fun o ->
-             let outcome = try o.check ctx with e -> Fail (Printexc.to_string e) in
-             (o.name, outcome))
-           oracles
+  | run -> evaluate_run oracles case run
 
 let oracle_names oracles = "no-crash" :: List.map (fun o -> o.name) oracles
+
+(** Resolve a comma-separated list of oracle names against the
+    registry, preserving registry order.  ["no-crash"] is accepted (it
+    is always evaluated) but selects no registry oracle.  Unknown names
+    are an error listing the valid ones — silently running zero oracles
+    is how a typo turns a red campaign green. *)
+let select spec =
+  let names =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if names = [] then Error "empty oracle selection"
+  else
+    let known n = n = "no-crash" || List.exists (fun o -> o.name = n) registry in
+    match List.filter (fun n -> not (known n)) names with
+    | [] -> Ok (List.filter (fun o -> List.mem o.name names) registry)
+    | unknown ->
+        Error
+          (Printf.sprintf "unknown oracle%s: %s; valid names: %s"
+             (if List.length unknown > 1 then "s" else "")
+             (String.concat ", " unknown)
+             (String.concat ", " (oracle_names registry)))
 
 let failures results =
   List.filter_map

@@ -50,6 +50,18 @@ val evaluate : t list -> Gen.case -> (string * outcome) list
     pseudo-oracle ["no-crash"], which fails iff the simulation or an
     oracle raised. *)
 
+val evaluate_run : t list -> Gen.case -> Gen.run -> (string * outcome) list
+(** Like {!evaluate}, on an execution the caller already produced —
+    the model checker's per-equivalence-class evaluation.  Oracle
+    exceptions are caught per oracle; ["no-crash"] passes (the run
+    exists). *)
+
+val select : string -> (t list, string) result
+(** Resolve a comma-separated oracle-name list against {!registry},
+    preserving registry order; ["no-crash"] is accepted but selects no
+    registry oracle.  [Error] on an unknown name, listing the valid
+    names. *)
+
 val oracle_names : t list -> string list
 (** The names {!evaluate} can report, in report order. *)
 

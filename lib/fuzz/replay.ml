@@ -7,11 +7,14 @@
 
     with rationals in {!Rat.to_string} form (`a/b` or `a`), faults via
     {!Sim.fault_to_string}, and scheduler parameters `:`-separated.
-    Two optional trailing fields appear only when non-default:
-    `p=<plan>` carries a message-level fault plan
-    ({!Sim.plan_to_string}) and `b=1` marks a resilience-boundary case.
-    [of_string (to_string c) = c] exactly, and replaying a line reruns
-    the identical execution ({!Gen.run_case} is deterministic). *)
+    Optional trailing fields appear only when non-default: `p=<plan>`
+    carries a message-level fault plan ({!Sim.plan_to_string}), `b=1`
+    marks a resilience-boundary case, and `sch=<c0.c1...>` carries an
+    explicit delivery schedule (dot-separated choice indices, emitted
+    by the model checker's counterexamples; `s=` was already taken by
+    the seed).  [of_string (to_string c) = c] exactly, and replaying a
+    line reruns the identical execution ({!Gen.run_case} is
+    deterministic). *)
 
 let version = "abc1"
 
@@ -33,8 +36,20 @@ let string_of_sched (s : Gen.sched_spec) =
   | Gen.S_deferring { victim_sender; victim_dst } ->
       Printf.sprintf "defer:%d:%d" victim_sender victim_dst
 
+let schedule_to_string sch = String.concat "." (List.map string_of_int sch)
+
+let schedule_of_string s =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | t :: rest -> (
+        match int_of_string_opt t with
+        | Some k when k >= 0 -> go (k :: acc) rest
+        | _ -> None)
+  in
+  if s = "" then None else go [] (String.split_on_char '.' s)
+
 let to_string (c : Gen.case) =
-  Printf.sprintf "%s;s=%d;n=%d;f=%s;xi=%s;w=%s;d=%s;e=%d%s%s" version c.Gen.c_seed
+  Printf.sprintf "%s;s=%d;n=%d;f=%s;xi=%s;w=%s;d=%s;e=%d%s%s%s" version c.Gen.c_seed
     c.Gen.c_nprocs
     (String.concat "," (Array.to_list (Array.map Sim.fault_to_string c.Gen.c_faults)))
     (Rat.to_string c.Gen.c_xi)
@@ -45,6 +60,8 @@ let to_string (c : Gen.case) =
        lines round-trip byte-identically *)
     (if c.Gen.c_plan = [] then "" else ";p=" ^ Sim.plan_to_string c.Gen.c_plan)
     (if c.Gen.c_boundary then ";b=1" else "")
+    (if c.Gen.c_schedule = [] then ""
+     else ";sch=" ^ schedule_to_string c.Gen.c_schedule)
 
 (* ------------------------------------------------------------------ *)
 (* Parsing *)
@@ -166,6 +183,15 @@ let of_string line =
         | Some "1" -> Ok true
         | Some b -> Error (Printf.sprintf "field b: expected 1, got %S" b)
       in
+      let* c_schedule =
+        match List.assoc_opt "sch" kvs with
+        | None -> Ok []
+        | Some "" -> Error "field sch: empty schedule (omit the field instead)"
+        | Some s -> (
+            match schedule_of_string s with
+            | Some sch -> Ok sch
+            | None -> Error (Printf.sprintf "field sch: bad schedule %S" s))
+      in
       Gen.validate
         {
           Gen.c_seed;
@@ -177,6 +203,7 @@ let of_string line =
           c_max_events;
           c_plan;
           c_boundary;
+          c_schedule;
         }
   | v :: _ -> Error (Printf.sprintf "unknown case format %S (expected %s)" v version)
   | [] -> Error "empty case"

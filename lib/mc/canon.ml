@@ -1,0 +1,50 @@
+(** Interchangeable-state canonicalizer.
+
+    Two interleavings are {e equivalent} (Mazurkiewicz-trace equal for
+    our dependence relation) iff every process receives the same
+    messages in the same order — deliveries at different processes
+    commute, deliveries at the same process do not.  The canonical key
+    is therefore the per-process sequence of {e message identities},
+    where a message is named not by its envelope id (assignment order
+    is interleaving-dependent) but structurally:
+
+    - a wake-up is ["w"];
+    - a message posted by the [o]-th send of the step that is the
+      [s]-th delivery at process [p] is ["p.s.o"] — and [(p, s)] names
+      that step canonically by induction.
+
+    Equal keys ⇔ same per-process delivery sequences ⇔ isomorphic
+    execution graphs with identical per-process algorithm behaviour, so
+    the oracle battery needs to run on only one representative per
+    key. *)
+
+let key ~nprocs (steps : Schedule.step array) : string =
+  let k = Array.length steps in
+  (* canonical label of each executed step: (dst, per-dst sequence no.) *)
+  let labels = Array.make k (0, 0) in
+  let seq = Array.make nprocs 0 in
+  for i = 0 to k - 1 do
+    let d = steps.(i).Schedule.sp_dst in
+    labels.(i) <- (d, seq.(d));
+    seq.(d) <- seq.(d) + 1
+  done;
+  let cause i =
+    let c = steps.(i).Schedule.sp_posted_at in
+    if c < 0 then "w"
+    else
+      let p, s = labels.(c) in
+      let offset = steps.(i).Schedule.sp_env - steps.(c).Schedule.sp_first_env in
+      Printf.sprintf "%d.%d.%d" p s offset
+  in
+  let per_proc = Array.make nprocs [] in
+  for i = k - 1 downto 0 do
+    let d = steps.(i).Schedule.sp_dst in
+    per_proc.(d) <- cause i :: per_proc.(d)
+  done;
+  String.concat "|"
+    (Array.to_list (Array.map (fun l -> String.concat "," l) per_proc))
+
+(** Short display form of a key for reports: a stable hex digest
+    prefix (keys grow with the budget; reports want a fixed-width
+    name). *)
+let short k = String.sub (Digest.to_hex (Digest.string k)) 0 10

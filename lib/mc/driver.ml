@@ -1,0 +1,142 @@
+(** Frontier-splitting exploration driver.
+
+    Parallel DPOR is racy in general: backtrack sets computed in one
+    subtree may target nodes owned by another worker.  We sidestep this
+    by splitting at a fixed {e frontier depth}: every prefix of that
+    length is expanded {e naively} (all choices, no reduction), and each
+    resulting prefix becomes an independent task explored with full
+    DPOR below the frontier.  Race analysis inside a subtree never
+    reaches above its own root ({!Explore.explore} ignores prefix
+    steps), so tasks share nothing and the output is independent of the
+    worker count: tasks are enumerated in lexicographic prefix order,
+    merged in that same order with first-seen class dedup, and the
+    final class list is sorted by canonical key.  Byte-determinism of
+    the report then follows for any [--jobs].
+
+    The price is duplicated work proportional to the naive blow-up of
+    the frontier layer; depth 2 is the default and plenty for the tree
+    widths this model produces. *)
+
+type violation = {
+  vi_class : string;  (** canonical key of the violating class *)
+  vi_oracle : string;
+  vi_detail : string;
+  vi_case : Fuzz.Gen.case;  (** schedule-bearing repro case *)
+  vi_shrunk : Fuzz.Gen.case;  (** after {!Mc_shrink.shrink} *)
+}
+
+type outcome = {
+  mc_case : Fuzz.Gen.case;  (** the box, schedule-free *)
+  mc_dpor : bool;
+  mc_frontier : int;  (** effective frontier depth *)
+  mc_tasks : int;
+  mc_executions : int;
+  mc_sleep_blocked : int;
+  mc_deliveries : int;
+  mc_classes : Explore.class_rec list;  (** sorted by [cl_key] *)
+  mc_violations : violation list;
+}
+
+let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true) ?(frontier = 2) ?jobs
+    (case : Fuzz.Gen.case) : outcome =
+  (match Fuzz.Gen.validate case with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Mc.Driver.run: " ^ e));
+  if case.Fuzz.Gen.c_schedule <> [] then
+    invalid_arg "Mc.Driver.run: the case already carries a schedule";
+  if case.Fuzz.Gen.c_max_events > Schedule.max_budget then
+    invalid_arg
+      (Printf.sprintf "Mc.Driver.run: budget %d above the mc cap %d"
+         case.Fuzz.Gen.c_max_events Schedule.max_budget);
+  (match case.Fuzz.Gen.c_sched with
+  | Fuzz.Gen.S_deferring _ ->
+      invalid_arg
+        "Mc.Driver.run: the deferring adversary picks its own delivery \
+         order; model-check an async box instead"
+  | _ -> ());
+  let frontier = max 0 (min frontier case.Fuzz.Gen.c_max_events) in
+  (* naive expansion of the frontier layer, in lexicographic prefix
+     order; prefixes that hit a maximal execution early become tasks of
+     their own (the subtree explorer records them as terminals) *)
+  let tasks = ref [] in
+  let rec enum prefix depth =
+    if depth = frontier then tasks := prefix :: !tasks
+    else begin
+      let sess, _steps = Schedule.replay case prefix in
+      if sess.Fuzz.Gen.ms_finished () then tasks := prefix :: !tasks
+      else
+        let m = List.length (sess.Fuzz.Gen.ms_ready ()) in
+        for c = 0 to m - 1 do
+          enum (prefix @ [ c ]) (depth + 1)
+        done
+    end
+  in
+  enum [] 0;
+  let tasks = Array.of_list (List.rev !tasks) in
+  let explore_task i = Explore.explore ~oracles ~dpor ~case ~prefix:tasks.(i) in
+  let subtrees =
+    match jobs with
+    | Some j when j <= 1 -> Array.init (Array.length tasks) explore_task
+    | _ -> Pool.map ?jobs ~chunk:1 (Array.length tasks) explore_task
+  in
+  (* merge in task order (lexicographic prefixes) with first-seen class
+     dedup, then sort classes by key: both steps are independent of the
+     worker count *)
+  let execs = ref 0 in
+  let sleep_blocked = ref 0 in
+  let deliveries = ref 0 in
+  let seen = Hashtbl.create 64 in
+  let classes = ref [] in
+  Array.iter
+    (fun (sb : Explore.subtree) ->
+      execs := !execs + sb.Explore.sb_execs;
+      sleep_blocked := !sleep_blocked + sb.Explore.sb_sleep_blocked;
+      deliveries := !deliveries + sb.Explore.sb_deliveries;
+      List.iter
+        (fun (cl : Explore.class_rec) ->
+          if not (Hashtbl.mem seen cl.Explore.cl_key) then begin
+            Hashtbl.add seen cl.Explore.cl_key ();
+            classes := cl :: !classes
+          end)
+        sb.Explore.sb_classes)
+    subtrees;
+  let classes =
+    List.sort
+      (fun (a : Explore.class_rec) b ->
+        compare a.Explore.cl_key b.Explore.cl_key)
+      !classes
+  in
+  let violations =
+    List.concat_map
+      (fun (cl : Explore.class_rec) ->
+        List.filter_map
+          (fun (name, o) ->
+            match o with
+            | Fuzz.Oracle.Fail detail ->
+                let vcase =
+                  { case with Fuzz.Gen.c_schedule = cl.Explore.cl_choices }
+                in
+                let shrunk = Mc_shrink.shrink ~oracles ~oracle:name vcase in
+                Some
+                  {
+                    vi_class = cl.Explore.cl_key;
+                    vi_oracle = name;
+                    vi_detail = detail;
+                    vi_case = vcase;
+                    vi_shrunk = shrunk;
+                  }
+            | Fuzz.Oracle.Pass | Fuzz.Oracle.Skip _ -> None)
+          cl.Explore.cl_results)
+      classes
+  in
+  {
+    mc_case = case;
+    mc_dpor = dpor;
+    mc_frontier = frontier;
+    mc_tasks = Array.length tasks;
+    mc_executions = !execs;
+    mc_sleep_blocked = !sleep_blocked;
+    mc_deliveries = !deliveries;
+    mc_classes = classes;
+    mc_violations = violations;
+  }

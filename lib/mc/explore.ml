@@ -1,0 +1,233 @@
+(** Stateless DFS explorer with sleep sets and dynamic partial-order
+    reduction.
+
+    The exploration tree's nodes are schedule prefixes; every node is
+    reconstructed by replaying its prefix from scratch
+    ({!Schedule.replay}), so the only persistent state is the DFS stack
+    of backtrack/sleep sets — the CHESS/Nidhugg stateless-search
+    shape.
+
+    Dependence relation: two deliveries commute unless they target the
+    same process or are causally ordered (one's send is in the causal
+    past of the other's delivery).  The race rule is phrased on the
+    {e send's} causal past: a delivery [e] races with an earlier step
+    [j] at the same destination iff [j] is not in the causal past of
+    [e]'s send — same-destination deliveries are always ordered in the
+    realized path, so testing the delivery's own past would find no
+    race ever.  When a race [(j, e)] is found:
+
+    - if [e] was already pending when [j] was chosen, delivering [e]
+      at [j] instead is the canonical reversal: add [e] to [j]'s
+      backtrack set;
+    - otherwise the reversal needs some intermediate step first, and we
+      fall back to adding every choice enabled at [j] (the conservative
+      DPOR fallback).
+
+    Under an event-budget cut, a class can differ from an explored one
+    only in deliveries the cut removed, so still-pending messages at a
+    terminal run the same race analysis ({e virtual races}) — this is
+    what keeps the bounded search's class coverage exhaustive at the
+    boundary (cross-checked against naive search by `--no-dpor`).
+
+    Sleep sets prune sibling-redundant subtrees: after exploring [e],
+    the classes reachable by first taking a delivery independent of
+    [e] and later [e] itself are already covered, so such siblings are
+    put to sleep.  A node whose every enabled choice sleeps is counted
+    and abandoned without touching the oracle battery. *)
+
+module IntSet = Set.Make (Int)
+
+(** One canonical equivalence class of maximal executions. *)
+type class_rec = {
+  cl_key : string;  (** {!Canon.key} of the class *)
+  cl_choices : int list;
+      (** schedule of the first-explored representative *)
+  cl_results : (string * Fuzz.Oracle.outcome) list;
+      (** oracle battery on that representative *)
+}
+
+(** Result of exploring one subtree (all statistics are sums over the
+    subtree only; class dedup is local to it). *)
+type subtree = {
+  sb_execs : int;  (** maximal executions explored *)
+  sb_sleep_blocked : int;  (** nodes pruned with every choice asleep *)
+  sb_deliveries : int;  (** deliveries simulated, replays included *)
+  sb_classes : class_rec list;  (** first-seen order *)
+}
+
+type node = {
+  nd_ready : Sim.Session.info array;
+  mutable nd_backtrack : IntSet.t;  (** envelope ids still to explore *)
+  mutable nd_done : IntSet.t;  (** envelope ids fully explored *)
+}
+
+let explore ~oracles ~dpor ~(case : Fuzz.Gen.case) ~(prefix : int list) : subtree =
+  let budget = case.Fuzz.Gen.c_max_events in
+  if budget > Schedule.max_budget then
+    invalid_arg
+      (Printf.sprintf "Mc.Explore.explore: budget %d above the mc cap %d" budget
+         Schedule.max_budget);
+  let d0 = List.length prefix in
+  let nodes : node option array = Array.make (budget + 1) None in
+  let execs = ref 0 in
+  let sleep_blocked = ref 0 in
+  let deliveries = ref 0 in
+  let classes = ref [] in
+  let seen = Hashtbl.create 64 in
+  let base_case = { case with Fuzz.Gen.c_schedule = [] } in
+  (* race analysis for delivery [e] (about to execute, or pending at a
+     terminal) after [steps]; backtrack requests target only nodes of
+     this subtree — races into the frontier prefix are covered by the
+     driver's full expansion above it *)
+  (* step index of each process's wake-up: an envelope is {e enabled}
+     at node [j] only if it was posted before [j] and its destination
+     had already booted — a pending-but-unbootable envelope in a
+     backtrack set would never be picked *)
+  let wake_steps steps =
+    let wake = Array.make case.Fuzz.Gen.c_nprocs max_int in
+    Array.iteri
+      (fun i (sp : Schedule.step) ->
+        if sp.Schedule.sp_posted_at < 0 then wake.(sp.Schedule.sp_dst) <- i)
+      steps;
+    wake
+  in
+  let enabled wake (e : Sim.Session.info) j =
+    e.Sim.Session.i_posted_at < j
+    && (e.Sim.Session.i_posted_at < 0 || wake.(e.Sim.Session.i_dst) < j)
+  in
+  let backtrack_env_at j (e : Sim.Session.info) =
+    match nodes.(j) with
+    | None -> ()
+    | Some nj ->
+        nj.nd_backtrack <- IntSet.add e.Sim.Session.i_env nj.nd_backtrack
+  in
+  let backtrack_all_at j =
+    match nodes.(j) with
+    | None -> ()
+    | Some nj ->
+        nj.nd_backtrack <-
+          Array.fold_left
+            (fun s (i : Sim.Session.info) -> IntSet.add i.Sim.Session.i_env s)
+            nj.nd_backtrack nj.nd_ready
+  in
+  (* realized race: the chosen delivery [e] against every earlier
+     same-destination step not in the causal past of [e]'s send *)
+  let add_races steps masks wake (e : Sim.Session.info) =
+    let k = Array.length steps in
+    let smask = Schedule.send_mask masks ~posted_at:e.Sim.Session.i_posted_at in
+    for j = d0 to k - 1 do
+      if
+        steps.(j).Schedule.sp_dst = e.Sim.Session.i_dst
+        && smask land (1 lsl j) = 0
+      then
+        if enabled wake e j then backtrack_env_at j e else backtrack_all_at j
+    done
+  in
+  (* cut race: at a terminal truncated with messages still pending, the
+     bound itself breaks commutativity — an execution spending its last
+     slots on {e different} deliveries is a different class even when
+     the destinations differ.  Every pending envelope therefore gets a
+     backtrack point at every node where it was enabled (and the
+     conservative all-choices fallback where it existed but could not
+     boot), so the deliveries the cut removed are re-inserted at each
+     position they could have taken. *)
+  let add_cut_races steps wake (e : Sim.Session.info) =
+    let k = Array.length steps in
+    for j = d0 to k - 1 do
+      if enabled wake e j then backtrack_env_at j e
+      else if e.Sim.Session.i_posted_at >= 0 && e.Sim.Session.i_posted_at < j
+      then backtrack_all_at j
+    done
+  in
+  let rec visit (choices : int list) (sleep : IntSet.t) =
+    let sess, steps = Schedule.replay case choices in
+    deliveries := !deliveries + Array.length steps;
+    let depth = Array.length steps in
+    if sess.Fuzz.Gen.ms_finished () then begin
+      incr execs;
+      if dpor then begin
+        let wake = wake_steps steps in
+        List.iter (add_cut_races steps wake) (sess.Fuzz.Gen.ms_ready ())
+      end;
+      let key = Canon.key ~nprocs:case.Fuzz.Gen.c_nprocs steps in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        let run = sess.Fuzz.Gen.ms_run () in
+        let results = Fuzz.Oracle.evaluate_run oracles base_case run in
+        classes :=
+          { cl_key = key; cl_choices = choices; cl_results = results } :: !classes
+      end
+    end
+    else begin
+      let ready = Array.of_list (sess.Fuzz.Gen.ms_ready ()) in
+      let dst_of =
+        let tbl = Hashtbl.create (Array.length ready) in
+        Array.iter
+          (fun (i : Sim.Session.info) ->
+            Hashtbl.replace tbl i.Sim.Session.i_env i.Sim.Session.i_dst)
+          ready;
+        fun id -> Hashtbl.find tbl id
+      in
+      let candidates =
+        Array.to_list ready
+        |> List.filter (fun (i : Sim.Session.info) ->
+               not (IntSet.mem i.Sim.Session.i_env sleep))
+      in
+      match candidates with
+      | [] -> incr sleep_blocked
+      | first :: _ ->
+          let node =
+            {
+              nd_ready = ready;
+              nd_backtrack =
+                (if dpor then IntSet.singleton first.Sim.Session.i_env
+                 else
+                   List.fold_left
+                     (fun s (i : Sim.Session.info) ->
+                       IntSet.add i.Sim.Session.i_env s)
+                     IntSet.empty candidates);
+              nd_done = IntSet.empty;
+            }
+          in
+          nodes.(depth) <- Some node;
+          let masks = lazy (Schedule.hb_masks steps) in
+          let wake = lazy (wake_steps steps) in
+          let rec loop () =
+            match
+              List.find_opt
+                (fun (i : Sim.Session.info) ->
+                  IntSet.mem i.Sim.Session.i_env node.nd_backtrack
+                  && not (IntSet.mem i.Sim.Session.i_env node.nd_done))
+                candidates
+            with
+            | None -> ()
+            | Some e ->
+                if dpor then
+                  add_races steps (Lazy.force masks) (Lazy.force wake) e;
+                let idx = ref 0 in
+                Array.iteri
+                  (fun i (r : Sim.Session.info) ->
+                    if r.Sim.Session.i_env = e.Sim.Session.i_env then idx := i)
+                  ready;
+                let child_sleep =
+                  if dpor then
+                    IntSet.filter
+                      (fun s -> dst_of s <> e.Sim.Session.i_dst)
+                      (IntSet.union sleep node.nd_done)
+                  else IntSet.empty
+                in
+                visit (choices @ [ !idx ]) child_sleep;
+                node.nd_done <- IntSet.add e.Sim.Session.i_env node.nd_done;
+                loop ()
+          in
+          loop ();
+          nodes.(depth) <- None
+    end
+  in
+  visit prefix IntSet.empty;
+  {
+    sb_execs = !execs;
+    sb_sleep_blocked = !sleep_blocked;
+    sb_deliveries = !deliveries;
+    sb_classes = List.rev !classes;
+  }

@@ -1,0 +1,94 @@
+(** Schedule prefixes and their deterministic replay.
+
+    A schedule is a sequence of {e choice indices}: choice [i] picks
+    the index-[i]th entry of the session's ready list (posting order)
+    at step [i].  Replaying the same prefix through {!Fuzz.Gen}'s
+    choice-point session always yields the identical execution —
+    {!Sim.Session} is deterministic given the choices — which is what
+    makes stateless search sound: every node of the exploration tree is
+    reconstructed from its prefix alone.
+
+    Each executed delivery is summarized as a {!step}, carrying exactly
+    the causal facts the DPOR race analysis and the canonicalizer need:
+    which envelope was delivered where, which step posted it, and the
+    envelope-id watermark before the step ran (so a message can be
+    named by its posting step and send offset, independent of the
+    interleaving). *)
+
+(** One executed delivery. *)
+type step = {
+  sp_env : int;  (** envelope id (dense, posting order) *)
+  sp_dst : int;  (** receiving process *)
+  sp_posted_at : int;
+      (** delivery index of the step that posted the envelope; [-1] for
+          the initial wake-ups *)
+  sp_first_env : int;
+      (** envelope-id watermark before this step ran: the envelopes
+          this step posted have ids in [[sp_first_env; next watermark)] *)
+  sp_choice : int;  (** the choice index that selected this delivery *)
+}
+
+(** Hard cap on the event budget of model-checked cases: the explorer
+    tracks happens-before as per-step bit masks in a native [int]. *)
+let max_budget = 62
+
+(** Replay a choice prefix from scratch.  Returns the live session
+    (positioned after the prefix, ready for further choices or
+    [ms_run]) and the executed steps.  Choices are clamped to the
+    ready-list size, mirroring {!Sim.run_scheduled}; a prefix longer
+    than the execution is cut at the maximal point. *)
+let replay (case : Fuzz.Gen.case) (choices : int list) :
+    Fuzz.Gen.mc_session * step array =
+  let s = Fuzz.Gen.open_session case in
+  let steps = ref [] in
+  let rec go = function
+    | [] -> ()
+    | c :: rest ->
+        if s.Fuzz.Gen.ms_finished () then ()
+        else begin
+          let m = List.length (s.Fuzz.Gen.ms_ready ()) in
+          let c = if c < 0 then 0 else if c >= m then m - 1 else c in
+          let watermark = s.Fuzz.Gen.ms_envelopes () in
+          let info = s.Fuzz.Gen.ms_deliver c in
+          steps :=
+            {
+              sp_env = info.Sim.Session.i_env;
+              sp_dst = info.Sim.Session.i_dst;
+              sp_posted_at = info.Sim.Session.i_posted_at;
+              sp_first_env = watermark;
+              sp_choice = c;
+            }
+            :: !steps;
+          go rest
+        end
+  in
+  go choices;
+  (s, Array.of_list (List.rev !steps))
+
+(** Happens-before masks of a step sequence: bit [j] of [masks.(k)]
+    is set iff step [j] is in the causal past of step [k] (same
+    receiving process, or posting, transitively closed).  The length-
+    [max_budget] cap keeps every mask in one [int]. *)
+let hb_masks (steps : step array) : int array =
+  let k = Array.length steps in
+  let masks = Array.make k 0 in
+  (* last previous step at each process, for the program-order edge *)
+  let last_at = Hashtbl.create 8 in
+  for i = 0 to k - 1 do
+    let m = ref 0 in
+    let c = steps.(i).sp_posted_at in
+    if c >= 0 then m := (1 lsl c) lor masks.(c);
+    (match Hashtbl.find_opt last_at steps.(i).sp_dst with
+    | Some j -> m := !m lor (1 lsl j) lor masks.(j)
+    | None -> ());
+    masks.(i) <- !m;
+    Hashtbl.replace last_at steps.(i).sp_dst i
+  done;
+  masks
+
+(** Causal past of a {e send}: the posting step and everything before
+    it.  Used by the race rule — two same-destination deliveries are a
+    reversible race exactly when neither message's send is caused by
+    the other's delivery. *)
+let send_mask (masks : int array) ~posted_at =
+  if posted_at < 0 then 0 else (1 lsl posted_at) lor masks.(posted_at)

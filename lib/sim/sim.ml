@@ -596,6 +596,259 @@ let faithful_states result =
   tbl
 
 (* ------------------------------------------------------------------ *)
+(* Choice-point sessions *)
+
+(* Ready (undelivered) message.  [re_id] is a dense envelope id in
+   posting order (wake-ups are 0..n-1); [re_posted_at] is the delivery
+   index of the step that posted it, -1 for the initial wake-ups.  Both
+   are what an external explorer needs to reconstruct causality. *)
+type 'm ready_env = { re_id : int; re_posted_at : int; re_env : 'm envelope }
+
+type ('s, 'm) session = {
+  ss_cfg : ('s, 'm) config;
+  ss_graph : Graph.t;
+  ss_full : Graph.t;
+  ss_states : 's option array;
+  ss_fs : fault_state;
+  mutable ss_trace : 's trace_entry list;
+  mutable ss_ready : 'm ready_env list;  (* posting order *)
+  mutable ss_msg_index : int;
+  mutable ss_posted : int;
+  mutable ss_dropped : int;
+  mutable ss_delivered : int;
+  mutable ss_stop : bool;
+  mutable ss_next_env : int;
+}
+
+module Session = struct
+  type ('s, 'm) t = ('s, 'm) session
+
+  type info = {
+    i_env : int;
+    i_sender : int;
+    i_dst : int;
+    i_posted_at : int;
+    i_correct : bool;
+    i_faithful_src : int option;
+  }
+
+  let info_of re =
+    {
+      i_env = re.re_id;
+      i_sender = re.re_env.env_sender;
+      i_dst = re.re_env.env_dst;
+      i_posted_at = re.re_posted_at;
+      i_correct = re.re_env.env_sender_correct;
+      i_faithful_src = re.re_env.env_send_faithful;
+    }
+
+  let create (cfg : ('s, 'm) config) : ('s, 'm) t =
+    let n = cfg.nprocs in
+    let wakeups =
+      List.init n (fun p ->
+          {
+            re_id = p;
+            re_posted_at = -1;
+            re_env =
+              {
+                env_sender = -1;
+                env_dst = p;
+                env_payload = None;
+                env_send_faithful = None;
+                env_sender_correct = true;
+              };
+          })
+    in
+    {
+      ss_cfg = cfg;
+      ss_graph = Graph.create ~nprocs:n;
+      ss_full = Graph.create ~nprocs:n;
+      ss_states = Array.make n None;
+      ss_fs = make_fault_state n;
+      ss_trace = [];
+      ss_ready = wakeups;
+      ss_msg_index = 0;
+      ss_posted = n;
+      ss_dropped = 0;
+      ss_delivered = 0;
+      ss_stop = false;
+      ss_next_env = n;
+    }
+
+  let graph s = s.ss_graph
+
+  (* A process's wake-up is its causally-first event: until it is
+     delivered ([ss_states] still [None]), messages to that process are
+     posted but not {e ready} — offering them as choices would step an
+     unbooted algorithm.  No visible-emptiness deadlock: a hidden entry
+     implies its destination's wake-up is itself still visible. *)
+  let visible s =
+    List.filter
+      (fun re ->
+        re.re_env.env_sender < 0 || s.ss_states.(re.re_env.env_dst) <> None)
+      s.ss_ready
+
+  let ready s = List.map info_of (visible s)
+  let delivered s = s.ss_delivered
+  let envelopes s = s.ss_next_env
+
+  let finished s =
+    s.ss_stop || s.ss_ready = [] || s.ss_delivered >= s.ss_cfg.max_events
+
+  (* Execute the step triggered by [re] (already removed from the ready
+     list).  Faithfully the same per-delivery machinery as {!run}, with
+     logical time (the delivery index) in place of scheduler time: the
+     faithful/full graph growth, fault bookkeeping, send-omission,
+     plan handling (P_delay degrades to normal queueing, P_duplicate
+     queues two copies back-to-back) and trace order are identical. *)
+  let deliver_re s re =
+    let cfg = s.ss_cfg in
+    let n = cfg.nprocs in
+    let env = re.re_env in
+    let step_index = s.ss_delivered in
+    let time = Rat.of_int step_index in
+    let _full_ev = Graph.add_event ~time s.ss_full ~proc:env.env_dst in
+    let p = env.env_dst in
+    let is_wakeup = env.env_sender = -1 in
+    let processes = will_process s.ss_fs cfg.faults p ~is_wakeup in
+    let faithful_id =
+      if processes && env.env_sender_correct then begin
+        let ev = Graph.add_event ~time s.ss_graph ~proc:p in
+        (match env.env_send_faithful with
+        | Some src -> ignore (Graph.add_message s.ss_graph ~src ~dst:ev.Event.id)
+        | None -> ());
+        Some ev.Event.id
+      end
+      else None
+    in
+    s.ss_delivered <- s.ss_delivered + 1;
+    let processed, state_after, sends =
+      if not processes then
+        if is_wakeup && s.ss_states.(p) = None then begin
+          let st, _ = (byz_algo cfg p).init ~self:p ~nprocs:n in
+          (false, Some st, [])
+        end
+        else (false, s.ss_states.(p), [])
+      else begin
+        let algo = byz_algo cfg p in
+        match (env.env_sender, env.env_payload, s.ss_states.(p)) with
+        | -1, None, _ ->
+            let st, out = algo.init ~self:p ~nprocs:n in
+            s.ss_fs.fs_steps.(p) <- s.ss_fs.fs_steps.(p) + 1;
+            (true, Some st, out)
+        | sender, Some payload, Some st ->
+            let st', out = algo.step ~self:p ~nprocs:n st ~sender payload in
+            s.ss_fs.fs_steps.(p) <- s.ss_fs.fs_steps.(p) + 1;
+            (true, Some st', out)
+        | _ -> assert false
+      end
+    in
+    s.ss_states.(p) <- state_after;
+    let sender_correct_now = not (is_byz_fault cfg.faults.(p)) in
+    let omitting = processed && sends_omitted s.ss_fs cfg.faults p in
+    List.iter
+      (fun { dst; payload } ->
+        let idx = s.ss_msg_index in
+        s.ss_msg_index <- idx + 1;
+        s.ss_posted <- s.ss_posted + 1;
+        if omitting then s.ss_dropped <- s.ss_dropped + 1
+        else begin
+          let enqueue ~dst =
+            let env' =
+              {
+                env_sender = p;
+                env_dst = dst;
+                env_payload = Some payload;
+                env_send_faithful = (if sender_correct_now then faithful_id else None);
+                env_sender_correct = sender_correct_now;
+              }
+            in
+            s.ss_ready <-
+              s.ss_ready
+              @ [ { re_id = s.ss_next_env; re_posted_at = step_index; re_env = env' } ];
+            s.ss_next_env <- s.ss_next_env + 1
+          in
+          match List.assoc_opt idx cfg.plan with
+          | None | Some (P_delay _) -> enqueue ~dst
+          | Some P_drop -> s.ss_dropped <- s.ss_dropped + 1
+          | Some (P_misdirect d) -> enqueue ~dst:d
+          | Some (P_duplicate _) ->
+              enqueue ~dst;
+              s.ss_posted <- s.ss_posted + 1;
+              enqueue ~dst
+        end)
+      sends;
+    s.ss_trace <-
+      {
+        tr_proc = p;
+        tr_sender = env.env_sender;
+        tr_time = time;
+        tr_faithful_id = faithful_id;
+        tr_state_after = (if processed then state_after else None);
+        tr_processed = processed;
+      }
+      :: s.ss_trace;
+    if processed && Array.for_all Option.is_some s.ss_states then
+      if cfg.stop_when (Array.map Option.get s.ss_states) then s.ss_stop <- true;
+    info_of re
+
+  let deliver s k =
+    let rec split i acc = function
+      | [] -> invalid_arg "Sim.Session.deliver: choice index out of range"
+      | re :: rest ->
+          if i = k then (re, List.rev_append acc rest)
+          else split (i + 1) (re :: acc) rest
+    in
+    if k < 0 then invalid_arg "Sim.Session.deliver: negative choice index";
+    let re, _ = split 0 [] (visible s) in
+    s.ss_ready <- List.filter (fun r -> r.re_id <> re.re_id) s.ss_ready;
+    deliver_re s re
+
+  let result ?(allow_unwoken = false) ?(who = "Sim.Session.result") s =
+    let final_states =
+      Array.mapi
+        (fun p st ->
+          match st with
+          | Some st -> st
+          | None ->
+              if allow_unwoken then
+                (* same convention as a Crash 0 process: the initial
+                   state is well-defined even if never acted upon *)
+                fst ((byz_algo s.ss_cfg p).init ~self:p ~nprocs:s.ss_cfg.nprocs)
+              else invalid_arg (Printf.sprintf "%s: process %d never woke up" who p))
+        s.ss_states
+    in
+    {
+      graph = s.ss_graph;
+      full_graph = s.ss_full;
+      final_states;
+      trace = Array.of_list (List.rev s.ss_trace);
+      delivered = s.ss_delivered;
+      undelivered = List.length s.ss_ready;
+      posted = s.ss_posted;
+      dropped = s.ss_dropped;
+    }
+end
+
+(** Replay an externally chosen delivery sequence: choice [k] of the
+    array picks the [k]-th entry of the ready list (posting order) at
+    that point; out-of-range choices saturate at the last entry, and an
+    exhausted array continues FIFO (choice 0) to a maximal execution.
+    A schedule may starve a wake-up within the budget, so the result is
+    built with the unwoken-processes fallback. *)
+let run_scheduled (cfg : ('s, 'm) config) ~(choices : int array) : ('s, 'm) result =
+  let s = Session.create cfg in
+  let i = ref 0 in
+  while not (Session.finished s) do
+    let m = List.length (Session.visible s) in
+    let c = if !i < Array.length choices then choices.(!i) else 0 in
+    let c = if c < 0 then 0 else if c >= m then m - 1 else c in
+    ignore (Session.deliver s c);
+    incr i
+  done;
+  Session.result ~allow_unwoken:true ~who:"Sim.run_scheduled" s
+
+(* ------------------------------------------------------------------ *)
 (* Oracle-guided deferring adversary *)
 
 (** [run_deferring cfg ~xi ~victim] runs like {!run} but replaces the
@@ -618,38 +871,13 @@ let faithful_states result =
 
     Victim messages are identified by sender and destination.  Events
     are stamped with a logical time (delivery index) rather than the
-    scheduler's real time. *)
+    scheduler's real time.  Implemented over {!Session}: the ready list
+    in posting order, partitioned on the victim predicate, is exactly
+    the pending/deferred FIFO pair of the original formulation. *)
 let run_deferring (cfg : ('s, 'm) config) ~xi
     ~(victim : sender:int -> dst:int -> bool) : ('s, 'm) result =
-  let n = cfg.nprocs in
-  let graph = Graph.create ~nprocs:n in
-  let full_graph = Graph.create ~nprocs:n in
-  let states : 's option array = Array.make n None in
-  let fs = make_fault_state n in
-  let trace = ref [] in
-  let pending : 'm envelope list ref = ref [] in
-  let deferred : 'm envelope list ref = ref [] in
-  let msg_index = ref 0 in
-  let posted = ref 0 in
-  let dropped = ref 0 in
-  let is_byz p = is_byz_fault cfg.faults.(p) in
-  for p = 0 to n - 1 do
-    incr posted;
-    pending :=
-      !pending
-      @ [
-          {
-            env_sender = -1;
-            env_dst = p;
-            env_payload = None;
-            env_send_faithful = None;
-            env_sender_correct = true;
-          };
-        ]
-  done;
-  let delivered = ref 0 in
-  let stop = ref false in
-  (* would delivering the given envelopes (in order) on top of the
+  let s = Session.create cfg in
+  (* would delivering the given messages (in order) on top of the
      recorded graph still be admissible?  Asked as a speculative
      extension of an incremental checker attached to the faithful
      graph: committed growth is absorbed by delta relaxation and the
@@ -658,160 +886,58 @@ let run_deferring (cfg : ('s, 'm) config) ~xi
      maintains the invariant that the current graph extended with the
      whole deferred queue is admissible, so forced deliveries (of
      queue prefixes) can never violate. *)
-  let checker = Abc_check.Checker.create graph ~xi in
-  let extension_admissible (envs : 'm envelope list) =
+  let checker = Abc_check.Checker.create s.ss_graph ~xi in
+  let extension_admissible (res : 'm ready_env list) =
     Abc_check.Checker.spec_begin checker;
     List.iter
-      (fun env ->
+      (fun re ->
+        let env = re.re_env in
         if env.env_sender_correct then begin
           let ev = Abc_check.Checker.spec_add_event checker ~proc:env.env_dst in
           match env.env_send_faithful with
           | Some src -> Abc_check.Checker.spec_add_message checker ~src ~dst:ev
           | None -> ()
         end)
-      envs;
+      res;
     let ok = Abc_check.Checker.spec_admissible checker in
     Abc_check.Checker.spec_abort checker;
     ok
   in
-  let deliver env =
-    let time = Rat.of_int !delivered in
-    let _full_ev = Graph.add_event ~time full_graph ~proc:env.env_dst in
-    let p = env.env_dst in
-    let is_wakeup = env.env_sender = -1 in
-    let processes = will_process fs cfg.faults p ~is_wakeup in
-    let faithful_id =
-      if processes && env.env_sender_correct then begin
-        let ev = Graph.add_event ~time graph ~proc:p in
-        (match env.env_send_faithful with
-        | Some src -> ignore (Graph.add_message graph ~src ~dst:ev.Event.id)
-        | None -> ());
-        Some ev.Event.id
-      end
-      else None
-    in
-    incr delivered;
-    let processed, state_after, sends =
-      if not processes then
-        if is_wakeup && states.(p) = None then begin
-          let s, _ = (byz_algo cfg p).init ~self:p ~nprocs:n in
-          (false, Some s, [])
-        end
-        else (false, states.(p), [])
-      else begin
-        let algo = byz_algo cfg p in
-        match (env.env_sender, env.env_payload, states.(p)) with
-        | -1, None, _ ->
-            let s, out = algo.init ~self:p ~nprocs:n in
-            fs.fs_steps.(p) <- fs.fs_steps.(p) + 1;
-            (true, Some s, out)
-        | sender, Some payload, Some s ->
-            let s', out = algo.step ~self:p ~nprocs:n s ~sender payload in
-            fs.fs_steps.(p) <- fs.fs_steps.(p) + 1;
-            (true, Some s', out)
-        | _ -> assert false
-      end
-    in
-    states.(p) <- state_after;
-    let sender_correct_now = not (is_byz p) in
-    let omitting = processed && sends_omitted fs cfg.faults p in
-    List.iter
-      (fun { dst; payload } ->
-        let idx = !msg_index in
-        incr msg_index;
-        incr posted;
-        if omitting then incr dropped
-        else begin
-          let enqueue ~dst =
-            let env' =
-              {
-                env_sender = p;
-                env_dst = dst;
-                env_payload = Some payload;
-                env_send_faithful = (if sender_correct_now then faithful_id else None);
-                env_sender_correct = sender_correct_now;
-              }
-            in
-            if sender_correct_now && victim ~sender:p ~dst then
-              deferred := !deferred @ [ env' ]
-            else pending := !pending @ [ env' ]
-          in
-          (* [P_delay] is meaningless here — time is logical — so the
-             override degrades to normal queueing. *)
-          match List.assoc_opt idx cfg.plan with
-          | None | Some (P_delay _) -> enqueue ~dst
-          | Some P_drop -> incr dropped
-          | Some (P_misdirect d) -> enqueue ~dst:d
-          | Some (P_duplicate _) ->
-              enqueue ~dst;
-              incr posted;
-              enqueue ~dst
-        end)
-      sends;
-    trace :=
-      {
-        tr_proc = p;
-        tr_sender = env.env_sender;
-        tr_time = time;
-        tr_faithful_id = faithful_id;
-        tr_state_after = (if processed then state_after else None);
-        tr_processed = processed;
-      }
-      :: !trace;
-    if processed && Array.for_all Option.is_some states then
-      if cfg.stop_when (Array.map Option.get states) then stop := true
+  let is_victim re =
+    let env = re.re_env in
+    env.env_sender >= 0 && env.env_sender_correct
+    && victim ~sender:env.env_sender ~dst:env.env_dst
   in
-  while
-    (not !stop)
-    && ((!pending <> [] || !deferred <> []) && !delivered < cfg.max_events)
-  do
+  let take re =
+    s.ss_ready <- List.filter (fun re' -> re'.re_id <> re.re_id) s.ss_ready;
+    ignore (Session.deliver_re s re)
+  in
+  let live () =
+    (not s.ss_stop) && s.ss_ready <> [] && s.ss_delivered < cfg.max_events
+  in
+  while live () do
     (* re-establish the queue invariant: new victim messages may have
        been appended during the last step; release queue heads until
        deferring the rest is admissible again *)
-    while !deferred <> [] && not (extension_admissible !deferred) do
-      match !deferred with
-      | v :: vs ->
-          deferred := vs;
-          deliver v
-      | [] -> ()
-    done;
-    if (not !stop) && (!pending <> [] || !deferred <> []) && !delivered < cfg.max_events
-    then begin
-      match (!pending, !deferred) with
-      | [], v :: vs ->
+    let rec release () =
+      match List.filter is_victim s.ss_ready with
+      | v :: _ as dq when not (extension_admissible dq) ->
+          take v;
+          release ()
+      | _ -> ()
+    in
+    release ();
+    if live () then begin
+      match (List.filter (fun re -> not (is_victim re)) s.ss_ready,
+             List.filter is_victim s.ss_ready)
+      with
+      | [], v :: _ ->
           (* nothing else to deliver: the victim must arrive eventually *)
-          deferred := vs;
-          deliver v
-      | next :: rest, [] ->
-          pending := rest;
-          deliver next
-      | next :: rest, (v :: vs as dq) ->
-          if extension_admissible (next :: dq) then begin
-            pending := rest;
-            deliver next
-          end
-          else begin
-            deferred := vs;
-            deliver v
-          end
+          take v
+      | next :: _, [] -> take next
+      | next :: _, (v :: _ as dq) ->
+          if extension_admissible (next :: dq) then take next else take v
       | [], [] -> assert false
     end
   done;
-  let final_states =
-    Array.mapi
-      (fun p s ->
-        match s with
-        | Some s -> s
-        | None -> invalid_arg (Printf.sprintf "Sim.run_deferring: process %d never woke up" p))
-      states
-  in
-  {
-    graph;
-    full_graph;
-    final_states;
-    trace = Array.of_list (List.rev !trace);
-    delivered = !delivered;
-    undelivered = List.length !pending + List.length !deferred;
-    posted = !posted;
-    dropped = !dropped;
-  }
+  Session.result ~allow_unwoken:false ~who:"Sim.run_deferring" s

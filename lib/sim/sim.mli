@@ -237,6 +237,76 @@ val faithful_states : ('s, 'm) result -> (int, 's) Hashtbl.t
 (** States reached after each faithful-graph event (event id -> state),
     for algorithm-level analyses such as per-event clock values. *)
 
+(** {1 Choice-point sessions}
+
+    The model checker's hook into the simulator: a session exposes the
+    set of {e ready} (posted, undelivered) messages at every point and
+    lets the caller pick which one is delivered next, with the same
+    per-delivery machinery (fault bookkeeping, plan handling, graph
+    growth, trace) as {!run}.  Time is logical — each event is stamped
+    with its delivery index — so an execution is fully determined by
+    the sequence of choices. *)
+
+module Session : sig
+  type ('s, 'm) t
+
+  (** A ready message, as seen by an external explorer. *)
+  type info = {
+    i_env : int;
+        (** dense envelope id in posting order; wake-ups are [0..n-1] *)
+    i_sender : int;  (** [-1] for a wake-up *)
+    i_dst : int;
+    i_posted_at : int;
+        (** delivery index of the step that posted it; [-1] for the
+            initial wake-ups *)
+    i_correct : bool;  (** posted by a non-Byzantine sender *)
+    i_faithful_src : int option;
+        (** faithful-graph node of the sending step, if kept *)
+  }
+
+  val create : ('s, 'm) config -> ('s, 'm) t
+  (** Fresh session: the ready list holds exactly the [n] wake-ups. *)
+
+  val ready : ('s, 'm) t -> info list
+  (** Undelivered messages, in posting order (the canonical choice
+      order: choice [k] of {!deliver} picks the [k]-th entry). *)
+
+  val deliver : ('s, 'm) t -> int -> info
+  (** [deliver s k] removes the [k]-th ready message and executes the
+      step it triggers; returns the delivered message's info.
+      @raise Invalid_argument if [k] is out of range. *)
+
+  val finished : ('s, 'm) t -> bool
+  (** No ready messages, event budget exhausted, or [stop_when]
+      satisfied — the execution is maximal. *)
+
+  val graph : ('s, 'm) t -> Execgraph.Graph.t
+  (** The faithful execution graph recorded so far (live view). *)
+
+  val delivered : ('s, 'm) t -> int
+  (** Deliveries executed so far (= the current logical time). *)
+
+  val envelopes : ('s, 'm) t -> int
+  (** Envelopes created so far; the ids posted by the next step are
+      assigned densely from this value (explorers use the before/after
+      difference to attribute messages to their posting step). *)
+
+  val result : ?allow_unwoken:bool -> ?who:string -> ('s, 'm) t -> ('s, 'm) result
+  (** Package the execution so far.  With [allow_unwoken:true]
+      (default [false]) a process whose wake-up was starved by the
+      choice sequence gets its well-defined initial state (the
+      [Crash 0] convention) instead of raising. *)
+end
+
+val run_scheduled : ('s, 'm) config -> choices:int array -> ('s, 'm) result
+(** Replay an externally chosen delivery sequence through a
+    {!Session}: choice [i] picks the index-[choices.(i)] entry of the
+    ready list at step [i].  Out-of-range choices saturate at the last
+    ready entry; when the array is exhausted the run continues FIFO
+    (choice 0) until maximal.  The config's [scheduler] is ignored;
+    the result uses the unwoken-process fallback, since a schedule may
+    starve a wake-up within the budget. *)
+
 (** {1 Oracle-guided deferring adversary} *)
 
 val run_deferring :

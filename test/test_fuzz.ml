@@ -230,4 +230,42 @@ let shrink_tests =
         done);
   ]
 
-let suite = roundtrip_tests @ determinism_tests @ smoke_tests @ shrink_tests
+let select_tests =
+  [
+    Alcotest.test_case "oracle selection resolves known names in order" `Quick
+      (fun () ->
+        match Oracle.select "delay-assignment,clock-progress" with
+        | Error e -> Alcotest.failf "valid names rejected: %s" e
+        | Ok os -> (
+            (* registry order, not mention order *)
+            match List.map (fun (o : Oracle.t) -> o.Oracle.name) os with
+            | [ "clock-progress"; "delay-assignment" ] -> ()
+            | names ->
+                Alcotest.failf "wrong selection: %s" (String.concat "," names)));
+    Alcotest.test_case "no-crash is accepted but selects no registry oracle"
+      `Quick (fun () ->
+        match Oracle.select "no-crash" with
+        | Ok [] -> ()
+        | Ok _ -> Alcotest.fail "no-crash selected a registry oracle"
+        | Error e -> Alcotest.failf "no-crash rejected: %s" e);
+    Alcotest.test_case "unknown oracle names fail with the valid list" `Quick
+      (fun () ->
+        match Oracle.select "clock-progress,flux-capacitor" with
+        | Ok _ -> Alcotest.fail "unknown oracle name accepted"
+        | Error e ->
+            let contains needle hay =
+              let nl = String.length needle and hl = String.length hay in
+              let rec go i =
+                i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+              in
+              go 0
+            in
+            if not (contains "flux-capacitor" e) then
+              Alcotest.failf "error does not name the offender: %s" e;
+            if not (contains "valid names" e && contains "clock-progress" e)
+            then Alcotest.failf "error does not list valid names: %s" e);
+  ]
+
+let suite =
+  roundtrip_tests @ determinism_tests @ smoke_tests @ shrink_tests
+  @ select_tests

@@ -1,0 +1,219 @@
+(* Tests for the bounded model checker: the sch= wire field, schedule
+   replay determinism (the property stateless search stands on),
+   DPOR-vs-naive class/verdict equivalence on exhaustively explorable
+   boxes, worker-count independence of the report, and schedule
+   shrinking on the pinned boundary witness. *)
+
+open Fuzz
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let q = Rat.of_ints
+
+let clock_box ?(boundary = false) ?faults ~nprocs ~budget ~xi () =
+  let faults =
+    match faults with Some f -> f | None -> Array.make nprocs Sim.Correct
+  in
+  {
+    Gen.c_seed = 1;
+    c_nprocs = nprocs;
+    c_faults = faults;
+    c_xi = xi;
+    c_sched = Gen.S_async { max_delay = Rat.one };
+    c_workload = Gen.W_clock;
+    c_max_events = budget;
+    c_plan = [];
+    c_boundary = boundary;
+    c_schedule = [];
+  }
+
+let boundary_box ~budget ~xi =
+  clock_box ~boundary:true
+    ~faults:[| Sim.Correct; Sim.Correct; Byz.fault Byz.Equivocator |]
+    ~nprocs:3 ~budget ~xi ()
+
+(* the golden witness: greedy starvation schedule pushing skew past
+   2Xi at n = 3f (see test/golden/mc_schedule_replay.expected) *)
+let witness_line =
+  "abc1;s=1;n=3;f=C,C,Beq;xi=3/2;w=clock;d=async:1;e=20;b=1;sch=0.0.0.6.0.2.5.1.6.2.6.4.6.7.8.8.9.10.10.11"
+
+let wire_tests =
+  [
+    Alcotest.test_case "sch= field round-trips" `Quick (fun () ->
+        let c =
+          { (clock_box ~nprocs:3 ~budget:8 ~xi:(q 2 1) ()) with
+            Gen.c_schedule = [ 0; 2; 1; 0; 3 ];
+          }
+        in
+        let line = Replay.to_string c in
+        (match Replay.of_string line with
+        | Ok c' ->
+            if c' <> c then
+              Alcotest.failf "sch round-trip changed the case: %s" line
+        | Error e -> Alcotest.failf "%s does not parse back: %s" line e);
+        if not (String.length line > 4) then Alcotest.fail "empty line");
+    Alcotest.test_case "schedule-free lines carry no sch= field" `Quick
+      (fun () ->
+        let line =
+          Replay.to_string (clock_box ~nprocs:3 ~budget:8 ~xi:(q 2 1) ())
+        in
+        let contains needle hay =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i =
+            i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        if contains "sch=" line then
+          Alcotest.failf "unexpected sch= in %s" line);
+    Alcotest.test_case "malformed schedules are rejected" `Quick (fun () ->
+        List.iter
+          (fun line ->
+            match Replay.of_string line with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "%S should not parse" line)
+          [
+            "abc1;s=1;n=3;f=C,C,C;xi=2;w=clock;d=async:1;e=8;sch=";
+            "abc1;s=1;n=3;f=C,C,C;xi=2;w=clock;d=async:1;e=8;sch=0..1";
+            "abc1;s=1;n=3;f=C,C,C;xi=2;w=clock;d=async:1;e=8;sch=0.-1";
+            "abc1;s=1;n=3;f=C,C,C;xi=2;w=clock;d=async:1;e=8;sch=zero";
+            (* the deferring adversary picks its own order *)
+            "abc1;s=1;n=3;f=C,C,C;xi=2;w=clock;d=defer:0:1;e=8;sch=0.1";
+          ]);
+    Alcotest.test_case "the golden witness line parses and fails" `Quick
+      (fun () ->
+        match Replay.of_string witness_line with
+        | Error e -> Alcotest.failf "witness line rejected: %s" e
+        | Ok c -> (
+            if List.length c.Gen.c_schedule <> 20 then
+              Alcotest.fail "witness schedule length changed";
+            match
+              List.assoc "boundary-precision"
+                (Oracle.evaluate Oracle.registry c)
+            with
+            | Oracle.Fail _ -> ()
+            | _ -> Alcotest.fail "witness no longer fails boundary-precision"));
+  ]
+
+let graph_dump g = Format.asprintf "%a" Execgraph.Graph.pp g
+
+(* non-empty: [c_schedule = []] means "no schedule", so the empty
+   prefix would compare against the case's own scheduler instead *)
+let arb_choices =
+  QCheck.make
+    ~print:(fun l -> String.concat "." (List.map string_of_int l))
+    QCheck.Gen.(list_size (int_range 1 8) (int_range 0 5))
+
+let determinism_tests =
+  [
+    prop "schedule replay is deterministic (same prefix, same graph)" 50
+      arb_choices (fun choices ->
+        let case = clock_box ~nprocs:3 ~budget:8 ~xi:(q 2 1) () in
+        let dump () =
+          let sess, steps = Mc.Schedule.replay case choices in
+          ( graph_dump (Gen.graph_of_run (sess.Gen.ms_run ())),
+            Mc.Canon.key ~nprocs:3 steps )
+        in
+        dump () = dump ());
+    prop "session replay agrees with Sim.run_scheduled" 50 arb_choices
+      (fun choices ->
+        let case = clock_box ~nprocs:3 ~budget:8 ~xi:(q 2 1) () in
+        let sess, _ = Mc.Schedule.replay case choices in
+        (* drive the session to a maximal execution, FIFO after the
+           prefix, mirroring run_scheduled's continuation *)
+        while not (sess.Gen.ms_finished ()) do
+          ignore (sess.Gen.ms_deliver 0)
+        done;
+        let g_session = graph_dump (Gen.graph_of_run (sess.Gen.ms_run ())) in
+        let g_sched =
+          graph_dump
+            (Gen.graph_of_run
+               (Gen.run_case { case with Gen.c_schedule = choices }))
+        in
+        g_session = g_sched);
+  ]
+
+let run_modes case =
+  let dpor = Mc.Driver.run ~dpor:true ~jobs:1 case in
+  let naive = Mc.Driver.run ~dpor:false ~jobs:1 case in
+  (dpor, naive)
+
+let equivalence_tests =
+  let configs =
+    [
+      ("n=2 clock b=5", clock_box ~nprocs:2 ~budget:5 ~xi:(q 2 1) ());
+      ("n=3 clock b=4", clock_box ~nprocs:3 ~budget:4 ~xi:(q 2 1) ());
+      ("n=3 boundary b=5", boundary_box ~budget:5 ~xi:(q 3 2));
+    ]
+  in
+  [
+    Alcotest.test_case "dpor and naive agree on classes and verdicts" `Quick
+      (fun () ->
+        let reduced = ref 0 in
+        List.iter
+          (fun (name, case) ->
+            let dpor, naive = run_modes case in
+            let vd = Mc.Mc_report.render_verdicts dpor in
+            let vn = Mc.Mc_report.render_verdicts naive in
+            if vd <> vn then
+              Alcotest.failf "%s: verdict mismatch:\n--- dpor ---\n%s--- naive ---\n%s"
+                name vd vn;
+            let kd =
+              List.map (fun c -> c.Mc.Explore.cl_key) dpor.Mc.Driver.mc_classes
+            in
+            let kn =
+              List.map (fun c -> c.Mc.Explore.cl_key) naive.Mc.Driver.mc_classes
+            in
+            if kd <> kn then Alcotest.failf "%s: class key sets differ" name;
+            if dpor.Mc.Driver.mc_executions > naive.Mc.Driver.mc_executions then
+              Alcotest.failf "%s: dpor explored MORE executions than naive" name;
+            if naive.Mc.Driver.mc_executions > dpor.Mc.Driver.mc_executions then
+              incr reduced)
+          configs;
+        if !reduced = 0 then
+          Alcotest.fail "no config showed a reduction ratio > 1");
+  ]
+
+let jobs_tests =
+  [
+    Alcotest.test_case "report is byte-identical for --jobs 1 and 2" `Quick
+      (fun () ->
+        let case = clock_box ~nprocs:3 ~budget:5 ~xi:(q 2 1) () in
+        let render jobs =
+          Mc.Mc_report.render ~stats:false (Mc.Driver.run ~jobs case)
+        in
+        let r1 = render 1 and r2 = render 2 in
+        if r1 <> r2 then
+          Alcotest.failf "jobs-dependent output:\n--- jobs 1 ---\n%s--- jobs 2 ---\n%s"
+            r1 r2);
+  ]
+
+let shrink_tests =
+  [
+    Alcotest.test_case "witness schedule shrinks and still fails" `Quick
+      (fun () ->
+        match Replay.of_string witness_line with
+        | Error e -> Alcotest.failf "witness line rejected: %s" e
+        | Ok c -> (
+            let shrunk =
+              Mc.Mc_shrink.shrink ~oracles:Oracle.registry
+                ~oracle:"boundary-precision" c
+            in
+            if
+              List.length shrunk.Gen.c_schedule
+              > List.length c.Gen.c_schedule
+            then Alcotest.fail "shrinking grew the schedule";
+            if shrunk.Gen.c_schedule = [] then
+              Alcotest.fail "shrunk to the empty schedule (meaning: none)";
+            match
+              List.assoc "boundary-precision"
+                (Oracle.evaluate Oracle.registry shrunk)
+            with
+            | Oracle.Fail _ -> ()
+            | _ -> Alcotest.fail "shrunk case no longer fails"));
+  ]
+
+let suite =
+  wire_tests @ determinism_tests @ equivalence_tests @ jobs_tests
+  @ shrink_tests
