@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz boundary check check-par mc-smoke bench reports clean
+.PHONY: all build test fuzz boundary check check-par mc-smoke bench reports coverage clean
 
 # Cases for the parallel determinism check; override with
 # `make check-par CASES=1000` for the full acceptance run.
@@ -46,6 +46,27 @@ mc-smoke: build
 
 reports: build
 	dune exec bench/main.exe -- reports
+
+# Line coverage via bisect_ppx.  The (instrumentation) stanzas in the
+# library dune files are inert unless --instrument-with is passed, so
+# the normal build has no bisect_ppx dependency; this target skips
+# with a notice when the package is missing (CI installs it) and
+# fails if lib/obs line coverage drops below 80%.
+coverage:
+	@if ! command -v bisect-ppx-report >/dev/null 2>&1; then \
+	  echo "coverage: bisect_ppx not installed; skipping (opam install bisect_ppx)"; \
+	else \
+	  rm -rf _coverage; \
+	  find . -name '*.coverage' -not -path './_opam/*' -delete; \
+	  dune runtest --instrument-with bisect_ppx --force; \
+	  bisect-ppx-report html -o _coverage; \
+	  bisect-ppx-report summary --per-file; \
+	  bisect-ppx-report summary --per-file \
+	    | awk '/lib\/obs\/obs\.ml/ { pct = $$1 + 0; found = 1; \
+	        if (pct < 80) { printf "coverage: lib/obs/obs.ml at %.2f%% < 80%%\n", pct; exit 1 } \
+	        else printf "coverage: lib/obs/obs.ml at %.2f%% (>= 80%%)\n", pct } \
+	      END { if (!found) { print "coverage: lib/obs/obs.ml missing from report"; exit 1 } }'; \
+	fi
 
 bench: build
 	dune exec bench/main.exe

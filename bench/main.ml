@@ -1174,11 +1174,111 @@ let run_mc_bench ~nprocs ~budget ~out =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: the 100-case Z1 campaign with the tracing
+   hooks compiled in but disabled, against the pre-instrumentation
+   baseline recorded on this container (commit f951333, min of three
+   runs).  The bar is < 3% wall overhead: every instrumentation site
+   is guarded by one Atomic.t read and allocates nothing when off.
+   Run-to-run noise here is the same order as the bar (~2%), so both
+   sides of the comparison are min-of-three.  Also records the
+   enabled-mode run (events, digest, cost) and per-emit micro costs. *)
+
+let obs_baseline_wall_s = 4.787
+let obs_baseline_alloc_mwords = 307.0
+let obs_overhead_budget_pct = 3.0
+
+let run_obs_bench ~out =
+  Format.printf
+    "obs series: 100-case Z1 campaign, tracing disabled vs enabled@.";
+  let campaign () =
+    let alloc0 = Gc.allocated_bytes () in
+    let t0 = Pool.now () in
+    let o = Fuzz.Campaign.run ~shrink:false ~cases:100 ~seed:1 ~jobs:1 () in
+    let wall = Pool.now () -. t0 in
+    let alloc_mwords = (Gc.allocated_bytes () -. alloc0) /. 8.0 /. 1e6 in
+    (o, wall, alloc_mwords)
+  in
+  let runs = List.init 3 (fun _ -> campaign ()) in
+  let dis_wall =
+    List.fold_left (fun acc (_, w, _) -> min acc w) infinity runs
+  in
+  let dis_alloc =
+    List.fold_left (fun acc (_, _, a) -> min acc a) infinity runs
+  in
+  let overhead_pct = ((dis_wall /. obs_baseline_wall_s) -. 1.0) *. 100.0 in
+  Format.printf
+    "  disabled: %.3fs min-of-3 (baseline %.3fs, %+.2f%% overhead), %.1f \
+     Mwords (baseline %.1f)@."
+    dis_wall obs_baseline_wall_s overhead_pct dis_alloc
+    obs_baseline_alloc_mwords;
+  let (_, en_wall, en_alloc), trace = Obs.capture campaign in
+  let events = Array.length trace.Obs.t_events in
+  let dg = Obs.digest trace in
+  Format.printf
+    "  enabled:  %.3fs, %.1f Mwords, %d events (%d dropped), digest %s@."
+    en_wall en_alloc events trace.Obs.t_dropped dg;
+  (* Per-emit micro costs, hand-timed (the quantities are far apart:
+     the disabled site is one atomic load, the enabled one allocates
+     an event record). *)
+  let ns_per n f =
+    let t0 = Pool.now () in
+    for _ = 1 to n do
+      f ()
+    done;
+    (Pool.now () -. t0) /. float_of_int n *. 1e9
+  in
+  let micro_disabled_ns =
+    ns_per 10_000_000 (fun () ->
+        if Obs.on () then Obs.instant "bench" "x" [ ("i", Obs.I 1) ])
+  in
+  Obs.start ~capacity:(1 lsl 16) ();
+  let micro_enabled_ns =
+    ns_per 1_000_000 (fun () ->
+        if Obs.on () then Obs.instant "bench" "x" [ ("i", Obs.I 1) ])
+  in
+  ignore (Obs.drain ());
+  Format.printf "  per-site: %.2f ns disabled, %.1f ns enabled@."
+    micro_disabled_ns micro_enabled_ns;
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "{\n\
+    \  \"bench\": \"obs\",\n\
+    \  \"campaign\": {\"cases\": 100, \"seed\": 1, \"jobs\": 1},\n\
+    \  \"disabled\": {\n\
+    \    \"wall_s_min3\": %.3f,\n\
+    \    \"alloc_mwords_min3\": %.1f,\n\
+    \    \"baseline_wall_s\": %.3f,\n\
+    \    \"baseline_alloc_mwords\": %.1f,\n\
+    \    \"overhead_pct\": %.2f,\n\
+    \    \"budget_pct\": %.1f\n\
+    \  },\n\
+    \  \"enabled\": {\n\
+    \    \"wall_s\": %.3f,\n\
+    \    \"alloc_mwords\": %.1f,\n\
+    \    \"events\": %d,\n\
+    \    \"dropped\": %d,\n\
+    \    \"digest\": %S\n\
+    \  },\n\
+    \  \"per_site_ns\": {\"disabled\": %.2f, \"enabled\": %.1f}\n\
+     }\n"
+    dis_wall dis_alloc obs_baseline_wall_s obs_baseline_alloc_mwords
+    overhead_pct obs_overhead_budget_pct en_wall en_alloc events
+    trace.Obs.t_dropped dg micro_disabled_ns micro_enabled_ns;
+  write_file out (Buffer.contents buf);
+  Format.printf "  series written to %s@." out;
+  if overhead_pct >= obs_overhead_budget_pct then begin
+    Format.eprintf "error: disabled-tracing overhead %.2f%% >= %.1f%%@."
+      overhead_pct obs_overhead_budget_pct;
+    exit 1
+  end
+
 let usage () =
   prerr_endline
     "usage: main.exe [reports [SECTION...] [-j N]] | [pool [--cases N] \
      [--jobs N] [--seed N] [--out FILE]] | [rat [--out FILE]] | [byz [--out \
-     FILE]] | [mc [--procs N] [--budget B] [--out FILE]]";
+     FILE]] | [mc [--procs N] [--budget B] [--out FILE]] | [obs [--out \
+     FILE]]";
   exit 2
 
 let int_arg name = function
@@ -1249,6 +1349,13 @@ let () =
         | _ -> usage ()
       in
       go ~nprocs:3 ~budget:6 ~out:"BENCH_mc.json" rest
+  | _ :: "obs" :: rest ->
+      let rec go ~out = function
+        | [] -> run_obs_bench ~out
+        | "--out" :: file :: rest -> go ~out:file rest
+        | _ -> usage ()
+      in
+      go ~out:"BENCH_obs.json" rest
   | [ _ ] ->
       run_reports ();
       run_benchmarks ()

@@ -638,6 +638,187 @@ let cmd_mc =
     term
 
 (* ------------------------------------------------------------------ *)
+(* trace *)
+
+let cmd_trace =
+  let run replay mc cases seed jobs procs budget out format filters no_wall
+      digest_only =
+    let ( let* ) r f =
+      match r with
+      | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+      | Ok v -> f v
+    in
+    let* format =
+      match format with
+      | "jsonl" -> Ok `Jsonl
+      | "chrome" -> Ok `Chrome
+      | f -> Error (Printf.sprintf "unknown format %S (jsonl, chrome)" f)
+    in
+    let* cats =
+      match filters with
+      | None -> Ok None
+      | Some s ->
+          let toks = if s = "" then [] else String.split_on_char ',' s in
+          let valid = [ "sim"; "fuzz"; "mc"; "pool" ] in
+          if toks <> [] && List.for_all (fun t -> List.mem t valid) toks then
+            Ok (Some toks)
+          else Error "bad --filter (comma-separated subset of sim,fuzz,mc,pool)"
+    in
+    let* () =
+      if replay <> None && mc then
+        Error "--replay and --mc are mutually exclusive"
+      else Ok ()
+    in
+    let jobs = if jobs > 0 then jobs else 1 in
+    let body () =
+      match replay with
+      | Some line ->
+          (* scope 0: a single replayed case is one deterministic unit
+             of work, so its whole event stream enters the digest *)
+          Obs.with_scope 0 (fun () ->
+              match Fuzz.Replay.replay ~oracles:Fuzz.Oracle.registry line with
+              | Error e -> Error e
+              | Ok (_case, _results) -> Ok ())
+      | None ->
+          if mc then
+            if budget > Mc.Schedule.max_budget then
+              Error
+                (Printf.sprintf "budget %d above the mc cap %d" budget
+                   Mc.Schedule.max_budget)
+            else
+              let case =
+                {
+                  Fuzz.Gen.c_seed = seed;
+                  c_nprocs = procs;
+                  c_faults = Array.make procs Sim.Correct;
+                  c_xi = q 2 1;
+                  c_sched = Fuzz.Gen.S_async { max_delay = Rat.one };
+                  c_workload = Fuzz.Gen.W_clock;
+                  c_max_events = budget;
+                  c_plan = [];
+                  c_boundary = false;
+                  c_schedule = [];
+                }
+              in
+              (match Fuzz.Gen.validate case with
+              | Error e -> Error e
+              | Ok case ->
+                  ignore (Mc.Driver.run ~jobs case);
+                  Ok ())
+          else begin
+            ignore (Fuzz.Campaign.run ~shrink:false ~cases ~jobs ~seed ());
+            Ok ()
+          end
+    in
+    let res, trace = Obs.capture body in
+    let* () = res in
+    let trace =
+      match cats with None -> trace | Some cats -> Obs.filter ~cats trace
+    in
+    let dg = Obs.digest trace in
+    if digest_only then begin
+      print_endline dg;
+      0
+    end
+    else begin
+      let buf = Buffer.create 65536 in
+      (match format with
+      | `Jsonl ->
+          Obs.to_jsonl ~wall:(not no_wall) buf trace;
+          Printf.bprintf buf "{\"digest\":%S,\"events\":%d,\"dropped\":%d}\n" dg
+            (Array.length trace.Obs.t_events)
+            trace.Obs.t_dropped
+      | `Chrome -> Obs.to_chrome ~wall:(not no_wall) buf trace);
+      (match out with
+      | "-" -> print_string (Buffer.contents buf)
+      | file ->
+          let oc = open_out file in
+          output_string oc (Buffer.contents buf);
+          close_out oc;
+          Format.eprintf "trace written to %s (digest %s)@." file dg);
+      0
+    end
+  in
+  let replay =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"CASE"
+          ~doc:"Trace the replay of one serialized fuzz case.")
+  in
+  let mc =
+    Arg.(
+      value & flag
+      & info [ "mc" ]
+          ~doc:
+            "Trace a model-checker run on an all-correct async clock box \
+             ($(b,--procs), $(b,--budget), $(b,--jobs)).")
+  in
+  let cases =
+    Arg.(
+      value & opt int 10
+      & info [ "cases" ] ~docv:"N"
+          ~doc:"Campaign mode (the default): number of cases to trace.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains.  The trace digest is identical whatever N; only \
+             ambient events (pool scheduling) differ.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output file ($(b,-) = stdout).")
+  in
+  let format =
+    Arg.(
+      value & opt string "jsonl"
+      & info [ "format" ] ~docv:"F"
+          ~doc:"Sink format: $(b,jsonl) or $(b,chrome) (trace_event JSON).")
+  in
+  let filters =
+    Arg.(
+      value & opt (some string) None
+      & info [ "filter" ] ~docv:"CATS"
+          ~doc:
+            "Keep only these event categories (comma-separated subset of \
+             sim,fuzz,mc,pool).  The digest is computed on the filtered \
+             stream.")
+  in
+  let no_wall =
+    Arg.(
+      value & flag
+      & info [ "no-wall" ]
+          ~doc:
+            "Scrub the nondeterministic wall-clock and domain fields; the \
+             JSONL output is then byte-deterministic (what golden tests pin).")
+  in
+  let digest_only =
+    Arg.(
+      value & flag
+      & info [ "digest-only" ] ~doc:"Print only the trace digest, no events.")
+  in
+  let term =
+    Term.(
+      const run $ replay $ mc $ cases $ seed_arg $ jobs $ procs_arg ~default:3
+      $ Arg.(
+          value & opt int 6
+          & info [ "budget" ] ~docv:"B" ~doc:"Event budget for $(b,--mc).")
+      $ out $ format $ filters $ no_wall $ digest_only)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Structured tracing of a fuzz campaign, a case replay, or a \
+          model-checker run: JSONL or Chrome trace_event output with a \
+          deterministic (jobs-invariant) trace digest.")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "laboratory for the Asynchronous Bounded-Cycle model reproduction" in
@@ -646,4 +827,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ cmd_check; cmd_threshold; cmd_assign; cmd_simulate; cmd_consensus; cmd_detect; cmd_omega; cmd_fuzz; cmd_mc ]))
+          [ cmd_check; cmd_threshold; cmd_assign; cmd_simulate; cmd_consensus; cmd_detect; cmd_omega; cmd_fuzz; cmd_mc; cmd_trace ]))

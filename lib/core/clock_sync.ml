@@ -94,7 +94,8 @@ let algorithm ~f : (state, msg) Sim.algorithm =
     init =
       (fun ~self:_ ~nprocs -> (initial ~f, broadcast_range ~nprocs 0 0));
     step =
-      (fun ~self:_ ~nprocs s ~sender (Tick t) ->
+      (fun ~self ~nprocs s ~sender (Tick t) ->
+        let k0 = s.k in
         let senders =
           match Imap.find_opt t s.received with None -> Iset.empty | Some set -> set
         in
@@ -105,7 +106,10 @@ let algorithm ~f : (state, msg) Sim.algorithm =
             receipt_log = (sender, t) :: s.receipt_log;
           }
         in
-        apply_rules ~nprocs s);
+        let s', sends = apply_rules ~nprocs s in
+        if Obs.on () && s'.k > k0 then
+          Obs.counter "sim" "clock" [ ("proc", Obs.I self) ] s'.k;
+        (s', sends));
   }
 
 (* ------------------------------------------------------------------ *)

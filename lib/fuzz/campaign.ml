@@ -77,9 +77,30 @@ type case_eval = {
 }
 
 let eval_case ~oracles ~shrink ~boundary ~seed i =
+  (* the case index is the event scope: everything a case emits gets
+     logical timestamps (i, 0), (i, 1), … no matter which worker runs
+     it, so campaign trace digests are jobs-invariant *)
+  Obs.with_scope i @@ fun () ->
+  if Obs.on () then
+    Obs.span_begin "fuzz" "case"
+      [ ("i", Obs.I i); ("seed", Obs.I (case_seed ~seed i)) ];
   let gen = if boundary then Gen.generate_boundary else Gen.generate in
   let case = gen ~seed:(case_seed ~seed i) in
   let results = Oracle.evaluate oracles case in
+  if Obs.on () then
+    List.iter
+      (fun (name, o) ->
+        Obs.instant "fuzz" "oracle"
+          [
+            ("name", Obs.S name);
+            ( "verdict",
+              Obs.S
+                (match o with
+                | Oracle.Pass -> "pass"
+                | Oracle.Skip _ -> "skip"
+                | Oracle.Fail _ -> "fail") );
+          ])
+      results;
   let failures =
     List.map
       (fun (fl_oracle, fl_detail) ->
@@ -90,6 +111,9 @@ let eval_case ~oracles ~shrink ~boundary ~seed i =
         { fl_oracle; fl_detail; fl_case = case; fl_shrunk })
       (Oracle.failures results)
   in
+  if Obs.on () then
+    Obs.span_end "fuzz" "case"
+      [ ("i", Obs.I i); ("failures", Obs.I (List.length failures)) ];
   { ce_case = case; ce_results = results; ce_failures = failures }
 
 (* Fold the per-case evaluations, in index order, into the outcome. *)

@@ -133,6 +133,7 @@ let shrink ?(max_evals = 80) ~oracles ~oracle (c0 : Gen.case) : result =
   let evals = ref 0 in
   let still_fails c =
     incr evals;
+    if Obs.on () then Obs.instant "fuzz" "shrink-eval" [ ("n", Obs.I !evals) ];
     match Oracle.evaluate oracles c with
     | results ->
         List.exists
@@ -149,7 +150,10 @@ let shrink ?(max_evals = 80) ~oracles ~oracle (c0 : Gen.case) : result =
           (fun c' -> !evals < max_evals && still_fails c')
           (candidates c)
       with
-      | Some c' -> go c' (steps + 1)
+      | Some c' ->
+          if Obs.on () then
+            Obs.instant "fuzz" "shrink-step" [ ("steps", Obs.I (steps + 1)) ];
+          go c' (steps + 1)
       | None -> { shrunk = c; steps; evaluations = !evals }
   in
   go c0 0

@@ -71,9 +71,27 @@ let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true) ?(frontier = 2) ?jobs
         done
     end
   in
-  enum [] 0;
-  let tasks = Array.of_list (List.rev !tasks) in
-  let explore_task i = Explore.explore ~oracles ~dpor ~case ~prefix:tasks.(i) in
+  (* scope 0: the (serial) frontier enumeration; scope 1+i: task i.
+     Every scoped event stream is a pure function of the case, so the
+     trace digest is jobs-invariant like the report itself. *)
+  let tasks =
+    Obs.with_scope 0 @@ fun () ->
+    enum [] 0;
+    let tasks = Array.of_list (List.rev !tasks) in
+    if Obs.on () then
+      Obs.instant "mc" "frontier"
+        [ ("tasks", Obs.I (Array.length tasks)); ("depth", Obs.I frontier) ];
+    tasks
+  in
+  let explore_task i =
+    Obs.with_scope (1 + i) @@ fun () ->
+    if Obs.on () then Obs.span_begin "mc" "task" [ ("i", Obs.I i) ];
+    let sb = Explore.explore ~oracles ~dpor ~case ~prefix:tasks.(i) in
+    if Obs.on () then
+      Obs.span_end "mc" "task"
+        [ ("i", Obs.I i); ("execs", Obs.I sb.Explore.sb_execs) ];
+    sb
+  in
   let subtrees =
     match jobs with
     | Some j when j <= 1 -> Array.init (Array.length tasks) explore_task

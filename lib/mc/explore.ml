@@ -99,12 +99,17 @@ let explore ~oracles ~dpor ~(case : Fuzz.Gen.case) ~(prefix : int list) : subtre
     match nodes.(j) with
     | None -> ()
     | Some nj ->
+        if Obs.on () then
+          Obs.instant "mc" "race"
+            [ ("at", Obs.I j); ("env", Obs.I e.Sim.Session.i_env) ];
         nj.nd_backtrack <- IntSet.add e.Sim.Session.i_env nj.nd_backtrack
   in
   let backtrack_all_at j =
     match nodes.(j) with
     | None -> ()
     | Some nj ->
+        if Obs.on () then
+          Obs.instant "mc" "race" [ ("at", Obs.I j); ("all", Obs.B true) ];
         nj.nd_backtrack <-
           Array.fold_left
             (fun s (i : Sim.Session.info) -> IntSet.add i.Sim.Session.i_env s)
@@ -143,6 +148,7 @@ let explore ~oracles ~dpor ~(case : Fuzz.Gen.case) ~(prefix : int list) : subtre
     let sess, steps = Schedule.replay case choices in
     deliveries := !deliveries + Array.length steps;
     let depth = Array.length steps in
+    if Obs.on () then Obs.instant "mc" "expand" [ ("depth", Obs.I depth) ];
     if sess.Fuzz.Gen.ms_finished () then begin
       incr execs;
       if dpor then begin
@@ -174,7 +180,10 @@ let explore ~oracles ~dpor ~(case : Fuzz.Gen.case) ~(prefix : int list) : subtre
                not (IntSet.mem i.Sim.Session.i_env sleep))
       in
       match candidates with
-      | [] -> incr sleep_blocked
+      | [] ->
+          incr sleep_blocked;
+          if Obs.on () then
+            Obs.instant "mc" "sleep-prune" [ ("depth", Obs.I depth) ]
       | first :: _ ->
           let node =
             {

@@ -66,6 +66,7 @@ let map_stats ?jobs ?(fail_fast = false) ?chunk n f =
   let err_lock = Mutex.create () in
   let cancelled = Atomic.make false in
   let run_task i =
+    if Obs.on () then Obs.span_begin "pool" "task" [ ("i", Obs.I i) ];
     let t0 = now () in
     let a0 = Gc.minor_words () in
     (match f i with
@@ -77,7 +78,8 @@ let map_stats ?jobs ?(fail_fast = false) ?chunk n f =
         Mutex.unlock err_lock;
         if fail_fast then Atomic.set cancelled true);
     wall.(i) <- now () -. t0;
-    alloc.(i) <- Gc.minor_words () -. a0
+    alloc.(i) <- Gc.minor_words () -. a0;
+    if Obs.on () then Obs.span_end "pool" "task" [ ("i", Obs.I i) ]
   in
   (* Deal chunks round-robin onto the worker deques. *)
   let nchunks = (n + chunk - 1) / chunk in
@@ -103,7 +105,14 @@ let map_stats ?jobs ?(fail_fast = false) ?chunk n f =
       else
         let d = deques.((w + k) mod jobs) in
         match if k = 0 then take_front d else take_back d with
-        | Some _ as c -> c
+        | Some _ as c ->
+            (* k > 0 means the chunk came off a sibling's deque: a steal.
+               Ambient by design — which worker steals what is a
+               scheduling accident, so it must stay out of the digest. *)
+            if k > 0 && Obs.on () then
+              Obs.instant "pool" "steal"
+                [ ("thief", Obs.I w); ("victim", Obs.I ((w + k) mod jobs)) ];
+            c
         | None -> grab (k + 1)
     in
     let rec loop () =

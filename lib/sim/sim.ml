@@ -379,6 +379,11 @@ let run (cfg : ('s, 'm) config) : ('s, 'm) result =
     incr delivered;
     let is_wakeup = env.env_sender = -1 in
     let processes = will_process fs cfg.faults p ~is_wakeup in
+    if Obs.on () then begin
+      Obs.instant "sim" "deliver"
+        [ ("dst", Obs.I p); ("from", Obs.I env.env_sender); ("ok", Obs.B processes) ];
+      if not processes then Obs.instant "sim" "fault" [ ("proc", Obs.I p) ]
+    end;
     (* The faithful graph keeps only computing steps actually taken:
        unprocessed deliveries are causally inert (no state change, no
        sends), so no relevant cycle passes through them and dropping
@@ -433,10 +438,16 @@ let run (cfg : ('s, 'm) config) : ('s, 'm) result =
         let idx = !msg_index in
         incr msg_index;
         incr posted;
-        if omitting then incr dropped
+        if omitting then begin
+          incr dropped;
+          if Obs.on () then
+            Obs.instant "sim" "drop" [ ("idx", Obs.I idx); ("why", Obs.S "omission") ]
+        end
         else begin
           let enqueue ~dst ~delay =
             if Rat.sign delay < 0 then invalid_arg "Sim.run: negative delay";
+            if Obs.on () then
+              Obs.instant "sim" "send" [ ("dst", Obs.I dst); ("idx", Obs.I idx) ];
             post (Rat.add time delay)
               {
                 env_sender = p;
@@ -451,7 +462,10 @@ let run (cfg : ('s, 'm) config) : ('s, 'm) result =
           in
           match List.assoc_opt idx cfg.plan with
           | None -> enqueue ~dst ~delay:(sched_delay ~dst)
-          | Some P_drop -> incr dropped
+          | Some P_drop ->
+              incr dropped;
+              if Obs.on () then
+                Obs.instant "sim" "drop" [ ("idx", Obs.I idx); ("why", Obs.S "plan") ]
           | Some (P_misdirect d) -> enqueue ~dst:d ~delay:(sched_delay ~dst:d)
           | Some (P_delay r) -> enqueue ~dst ~delay:r
           | Some (P_duplicate extra) ->
@@ -711,6 +725,11 @@ module Session = struct
     let p = env.env_dst in
     let is_wakeup = env.env_sender = -1 in
     let processes = will_process s.ss_fs cfg.faults p ~is_wakeup in
+    if Obs.on () then begin
+      Obs.instant "sim" "deliver"
+        [ ("dst", Obs.I p); ("from", Obs.I env.env_sender); ("ok", Obs.B processes) ];
+      if not processes then Obs.instant "sim" "fault" [ ("proc", Obs.I p) ]
+    end;
     let faithful_id =
       if processes && env.env_sender_correct then begin
         let ev = Graph.add_event ~time s.ss_graph ~proc:p in
@@ -751,9 +770,15 @@ module Session = struct
         let idx = s.ss_msg_index in
         s.ss_msg_index <- idx + 1;
         s.ss_posted <- s.ss_posted + 1;
-        if omitting then s.ss_dropped <- s.ss_dropped + 1
+        if omitting then begin
+          s.ss_dropped <- s.ss_dropped + 1;
+          if Obs.on () then
+            Obs.instant "sim" "drop" [ ("idx", Obs.I idx); ("why", Obs.S "omission") ]
+        end
         else begin
           let enqueue ~dst =
+            if Obs.on () then
+              Obs.instant "sim" "send" [ ("dst", Obs.I dst); ("idx", Obs.I idx) ];
             let env' =
               {
                 env_sender = p;
@@ -770,7 +795,10 @@ module Session = struct
           in
           match List.assoc_opt idx cfg.plan with
           | None | Some (P_delay _) -> enqueue ~dst
-          | Some P_drop -> s.ss_dropped <- s.ss_dropped + 1
+          | Some P_drop ->
+              s.ss_dropped <- s.ss_dropped + 1;
+              if Obs.on () then
+                Obs.instant "sim" "drop" [ ("idx", Obs.I idx); ("why", Obs.S "plan") ]
           | Some (P_misdirect d) -> enqueue ~dst:d
           | Some (P_duplicate _) ->
               enqueue ~dst;
@@ -901,6 +929,9 @@ let run_deferring (cfg : ('s, 'm) config) ~xi
       res;
     let ok = Abc_check.Checker.spec_admissible checker in
     Abc_check.Checker.spec_abort checker;
+    if Obs.on () then
+      Obs.instant "sim" "adm"
+        [ ("ok", Obs.B ok); ("pending", Obs.I (List.length res)) ];
     ok
   in
   let is_victim re =
