@@ -35,13 +35,17 @@ check-par: build
 	dune exec test/test_main.exe -- test pool -q
 
 # Model-checker smoke (< 60 s): exhaustively explore a small box with
-# the --no-dpor cross-check (DPOR and naive search must agree on every
-# class and verdict), then a DPOR-only run at a budget the naive
-# search could not finish, and the mc bench (exits non-zero if the
-# modes disagree or the reduction ratio is <= 1).
+# --cross-check (the replay engine and the naive search must both
+# agree with the default incremental DPOR run on every class and
+# verdict), the same cross-check at a budget the exhaustive naive
+# search could not finish (engine + table-pruned naive), and the mc
+# bench — which exits non-zero if the engines' class sets differ, if
+# deliveries_per_exec regresses above 1.5x the schedule depth, if the
+# transposition table loses classes, or if the search reduction vs
+# the pinned stateless-checker baseline falls under its floor.
 mc-smoke: build
 	dune exec bin/abc_cli.exe -- mc --procs 3 --budget 6 --cross-check --jobs 1
-	dune exec bin/abc_cli.exe -- mc --procs 3 --budget 8 --jobs 1
+	dune exec bin/abc_cli.exe -- mc --procs 3 --budget 8 --cross-check --jobs 1
 	dune exec bench/main.exe -- mc --out BENCH_mc.json
 
 reports: build

@@ -484,7 +484,7 @@ let cmd_fuzz =
 
 let cmd_mc =
   let run procs xi budget workload faults boundary seed jobs frontier no_dpor
-      cross_check stats =
+      engine no_tt cross_check stats =
     let ( let* ) r f =
       match r with
       | Error e ->
@@ -535,30 +535,72 @@ let cmd_mc =
           c_schedule = [];
         }
     in
+    let* engine =
+      match engine with
+      | "incremental" -> Ok Mc.Explore.Incremental
+      | "replay" -> Ok Mc.Explore.Replay
+      | e -> Error (Printf.sprintf "unknown engine %S (replay, incremental)" e)
+    in
     let jobs = if jobs > 0 then Some jobs else None in
-    let outcome = Mc.Driver.run ~dpor:(not no_dpor) ~frontier ?jobs case in
+    let tt = not no_tt in
+    let dpor = not no_dpor in
+    let outcome = Mc.Driver.run ~dpor ~engine ~tt ~frontier ?jobs case in
     print_string (Mc.Mc_report.render ~stats outcome);
-    let ok = outcome.Mc.Driver.mc_violations = [] in
-    if cross_check && not no_dpor then begin
-      let naive = Mc.Driver.run ~dpor:false ~frontier ?jobs case in
+    let ok = ref (outcome.Mc.Driver.mc_violations = []) in
+    if cross_check then begin
+      (* engine cross-check: the other engine must reproduce the class
+         list byte-for-byte — keys, representative schedules, verdicts
+         and repro lines (the engine is invisible in every output) *)
+      let other, other_name =
+        match engine with
+        | Mc.Explore.Incremental -> (Mc.Explore.Replay, "replay")
+        | Mc.Explore.Replay -> (Mc.Explore.Incremental, "incremental")
+      in
+      let o2 = Mc.Driver.run ~dpor ~engine:other ~tt ~frontier ?jobs case in
+      let signature (o : Mc.Driver.outcome) =
+        ( List.map
+            (fun (c : Mc.Explore.class_rec) ->
+              (c.Mc.Explore.cl_key, c.Mc.Explore.cl_choices))
+            o.Mc.Driver.mc_classes,
+          Mc.Mc_report.render_verdicts o,
+          List.map
+            (fun (v : Mc.Driver.violation) ->
+              ( Fuzz.Replay.to_string v.Mc.Driver.vi_case,
+                Fuzz.Replay.to_string v.Mc.Driver.vi_shrunk ))
+            o.Mc.Driver.mc_violations )
+      in
+      if signature outcome = signature o2 then
+        Format.printf
+          "cross-check: %s engine agrees (%d classes, %d executions)@."
+          other_name
+          (List.length o2.Mc.Driver.mc_classes)
+          o2.Mc.Driver.mc_executions
+      else begin
+        Format.printf "cross-check: ENGINE MISMATCH (%s vs %s)@."
+          (match engine with
+          | Mc.Explore.Incremental -> "incremental"
+          | Mc.Explore.Replay -> "replay")
+          other_name;
+        ok := false
+      end
+    end;
+    if cross_check && dpor then begin
+      let naive = Mc.Driver.run ~dpor:false ~engine ~tt ~frontier ?jobs case in
       let rv = Mc.Mc_report.render_verdicts outcome in
       let rn = Mc.Mc_report.render_verdicts naive in
-      if rv = rn then begin
+      if rv = rn then
         Format.printf
           "cross-check: naive search agrees (%d classes; %d dpor vs %d naive \
            executions)@."
           (List.length naive.Mc.Driver.mc_classes)
-          outcome.Mc.Driver.mc_executions naive.Mc.Driver.mc_executions;
-        if ok then 0 else 1
-      end
+          outcome.Mc.Driver.mc_executions naive.Mc.Driver.mc_executions
       else begin
         Format.printf "cross-check: MISMATCH@.--- dpor ---@.%s--- naive ---@.%s"
           rv rn;
-        1
+        ok := false
       end
-    end
-    else if ok then 0
-    else 1
+    end;
+    if !ok then 0 else 1
   in
   let budget =
     Arg.(
@@ -611,13 +653,30 @@ let cmd_mc =
             "Disable partial-order reduction and sleep sets: enumerate every \
              interleaving (the exhaustiveness baseline).")
   in
+  let engine =
+    Arg.(
+      value & opt string "incremental"
+      & info [ "engine" ] ~docv:"E"
+          ~doc:
+            "Exploration engine: $(b,incremental) walks the tree on one live \
+             session with snapshot/undo; $(b,replay) re-executes each prefix \
+             from scratch.  Both produce byte-identical output.")
+  in
+  let no_tt =
+    Arg.(
+      value & flag
+      & info [ "no-tt" ]
+          ~doc:
+            "Disable the canonical-state transposition table (only active \
+             with $(b,--no-dpor); sleep sets make it unsound).")
+  in
   let cross_check =
     Arg.(
       value & flag
       & info [ "cross-check" ]
           ~doc:
-            "After the DPOR run, re-explore without reduction and require \
-             identical class counts and verdicts.")
+            "Re-explore with the other engine and (under DPOR) without \
+             reduction, requiring byte-identical classes and verdicts.")
   in
   let stats =
     Arg.(
@@ -627,7 +686,8 @@ let cmd_mc =
   let term =
     Term.(
       const run $ procs_arg ~default:3 $ xi_arg $ budget $ workload $ faults
-      $ boundary $ seed_arg $ jobs $ frontier $ no_dpor $ cross_check $ stats)
+      $ boundary $ seed_arg $ jobs $ frontier $ no_dpor $ engine $ no_tt
+      $ cross_check $ stats)
   in
   Cmd.v
     (Cmd.info "mc"

@@ -41,6 +41,7 @@ let create ~nprocs =
 
 let nprocs g = g.nprocs
 let event_count g = g.event_count
+let edge_count g = g.kind_count
 let message_count g =
   let c = ref 0 in
   for i = 0 to g.kind_count - 1 do
@@ -103,6 +104,29 @@ let add_message g ~src ~dst =
   let e = Digraph.add_edge g.digraph ~src ~dst in
   push_kind g Message;
   e
+
+(** Roll the graph back to an earlier (event, edge) watermark, undoing
+    appends newest-first.  The watermark must be a consistent snapshot
+    of a prior state — every surviving edge references surviving events
+    ({!Digraph.truncate} validates that).  Per-process bookkeeping is
+    restored by popping [events_of_proc] heads, which hold the ids in
+    reverse append order. *)
+let truncate g ~events ~edges =
+  if events < 0 || events > g.event_count then
+    invalid_arg "Graph.truncate: bad event watermark";
+  if edges < 0 || edges > g.kind_count then
+    invalid_arg "Graph.truncate: bad edge watermark";
+  Digraph.truncate g.digraph ~nodes:events ~edges;
+  for id = g.event_count - 1 downto events do
+    let p = g.events.(id).Event.proc in
+    (match g.events_of_proc.(p) with
+    | hd :: tl when hd = id ->
+        g.events_of_proc.(p) <- tl;
+        g.last_event.(p) <- (match tl with [] -> -1 | prev :: _ -> prev)
+    | _ -> invalid_arg "Graph.truncate: per-process index out of sync")
+  done;
+  g.event_count <- events;
+  g.kind_count <- edges
 
 (** Reflexive-transitive causal reachability [φ →* ψ], by BFS. *)
 let causally_before g a b =

@@ -30,10 +30,22 @@ val add_message : t -> src:int -> dst:int -> Digraph.edge
 (** Adds a message edge between two existing event ids.
     @raise Invalid_argument on bad event ids. *)
 
+val truncate : t -> events:int -> edges:int -> unit
+(** Rolls the graph back to an earlier watermark (a prior
+    [(event_count, edge_count)] pair), undoing appends newest-first.
+    The pair must be a consistent snapshot: every surviving edge
+    references surviving events.  O(removed).
+    @raise Invalid_argument on an inconsistent watermark. *)
+
 (** {1 Accessors} *)
 
 val nprocs : t -> int
 val event_count : t -> int
+
+val edge_count : t -> int
+(** Total edges, local and message (the edge watermark {!truncate}
+    takes). *)
+
 val message_count : t -> int
 val event : t -> int -> Event.t
 val edge_kind : t -> int -> edge_kind

@@ -527,14 +527,17 @@ let run_case (c : case) : run =
     it once, at a maximal point. *)
 type mc_session = {
   ms_ready : unit -> Sim.Session.info list;
+  ms_iter_ready : (env:int -> dst:int -> posted_at:int -> unit) -> unit;
   ms_deliver : int -> Sim.Session.info;
   ms_finished : unit -> bool;
   ms_delivered : unit -> int;
   ms_envelopes : unit -> int;
+  ms_snapshot : unit -> int;
+  ms_undo : unit -> unit;
   ms_run : unit -> run;
 }
 
-let open_session (c : case) : mc_session =
+let open_session ?(record = false) (c : case) : mc_session =
   (match validate c with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Fuzz.Gen.open_session: " ^ e));
@@ -542,13 +545,16 @@ let open_session (c : case) : mc_session =
     {
       h =
         (fun cfg wrap ->
-          let s = Sim.Session.create cfg in
+          let s = Sim.Session.create ~record cfg in
           {
             ms_ready = (fun () -> Sim.Session.ready s);
+            ms_iter_ready = (fun f -> Sim.Session.iter_ready s f);
             ms_deliver = (fun k -> Sim.Session.deliver s k);
             ms_finished = (fun () -> Sim.Session.finished s);
             ms_delivered = (fun () -> Sim.Session.delivered s);
             ms_envelopes = (fun () -> Sim.Session.envelopes s);
+            ms_snapshot = (fun () -> Sim.Session.snapshot s);
+            ms_undo = (fun () -> Sim.Session.undo s);
             ms_run =
               (fun () ->
                 wrap (Sim.Session.result ~allow_unwoken:true ~who:"Fuzz.Gen.open_session" s));

@@ -122,14 +122,24 @@ val run_case : case -> run
     battery.  Call [ms_run] once, at a maximal point. *)
 type mc_session = {
   ms_ready : unit -> Sim.Session.info list;
+  ms_iter_ready : (env:int -> dst:int -> posted_at:int -> unit) -> unit;
+      (** {!Sim.Session.iter_ready}: the same entries without the list
+          allocation (the explorer's per-node read path) *)
   ms_deliver : int -> Sim.Session.info;
   ms_finished : unit -> bool;
   ms_delivered : unit -> int;
   ms_envelopes : unit -> int;
+  ms_snapshot : unit -> int;
+      (** {!Sim.Session.snapshot}: the current logical time, as an
+          [undo] target *)
+  ms_undo : unit -> unit;
+      (** {!Sim.Session.undo}: roll the last delivery back (sessions
+          opened with [record:true] only) *)
   ms_run : unit -> run;
 }
 
-val open_session : case -> mc_session
+val open_session : ?record:bool -> case -> mc_session
 (** Fresh session for the case (its [c_schedule] is ignored — the
-    caller drives).  @raise Invalid_argument if the case does not
-    {!validate}. *)
+    caller drives).  [record:true] keeps the undo journal that
+    [ms_undo] needs (default [false]).
+    @raise Invalid_argument if the case does not {!validate}. *)

@@ -28,16 +28,20 @@ type violation = {
 type outcome = {
   mc_case : Fuzz.Gen.case;  (** the box, schedule-free *)
   mc_dpor : bool;
+  mc_engine : Explore.engine;
   mc_frontier : int;  (** effective frontier depth *)
   mc_tasks : int;
   mc_executions : int;
   mc_sleep_blocked : int;
   mc_deliveries : int;
+  mc_undos : int;  (** deliveries rolled back (incremental engine) *)
+  mc_tt_hits : int;  (** transposition-table prunes (naive mode) *)
   mc_classes : Explore.class_rec list;  (** sorted by [cl_key] *)
   mc_violations : violation list;
 }
 
-let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true) ?(frontier = 2) ?jobs
+let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true)
+    ?(engine = Explore.Incremental) ?(tt = true) ?(frontier = 2) ?jobs
     (case : Fuzz.Gen.case) : outcome =
   (match Fuzz.Gen.validate case with
   | Ok _ -> ()
@@ -84,12 +88,24 @@ let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true) ?(frontier = 2) ?jobs
     tasks
   in
   let explore_task i =
-    Obs.with_scope (1 + i) @@ fun () ->
-    if Obs.on () then Obs.span_begin "mc" "task" [ ("i", Obs.I i) ];
-    let sb = Explore.explore ~oracles ~dpor ~case ~prefix:tasks.(i) in
-    if Obs.on () then
-      Obs.span_end "mc" "task"
-        [ ("i", Obs.I i); ("execs", Obs.I sb.Explore.sb_execs) ];
+    let sb =
+      Obs.with_scope (1 + i) @@ fun () ->
+      if Obs.on () then Obs.span_begin "mc" "task" [ ("i", Obs.I i) ];
+      let sb = Explore.explore ~engine ~tt ~oracles ~dpor ~case ~prefix:tasks.(i) in
+      if Obs.on () then
+        Obs.span_end "mc" "task"
+          [ ("i", Obs.I i); ("execs", Obs.I sb.Explore.sb_execs) ];
+      sb
+    in
+    (* engine-dependent statistics are emitted {e ambient} (outside the
+       task scope, under their own category): they vary with the engine
+       by design, so they must stay out of the digest and of the
+       scoped stream the goldens pin *)
+    if Obs.on () then begin
+      Obs.counter "mce" "deliveries" [ ("task", Obs.I i) ] sb.Explore.sb_deliveries;
+      Obs.counter "mce" "undos" [ ("task", Obs.I i) ] sb.Explore.sb_undos;
+      Obs.counter "mce" "tt-hits" [ ("task", Obs.I i) ] sb.Explore.sb_tt_hits
+    end;
     sb
   in
   let subtrees =
@@ -103,6 +119,8 @@ let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true) ?(frontier = 2) ?jobs
   let execs = ref 0 in
   let sleep_blocked = ref 0 in
   let deliveries = ref 0 in
+  let undos = ref 0 in
+  let tt_hits = ref 0 in
   let seen = Hashtbl.create 64 in
   let classes = ref [] in
   Array.iter
@@ -110,6 +128,8 @@ let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true) ?(frontier = 2) ?jobs
       execs := !execs + sb.Explore.sb_execs;
       sleep_blocked := !sleep_blocked + sb.Explore.sb_sleep_blocked;
       deliveries := !deliveries + sb.Explore.sb_deliveries;
+      undos := !undos + sb.Explore.sb_undos;
+      tt_hits := !tt_hits + sb.Explore.sb_tt_hits;
       List.iter
         (fun (cl : Explore.class_rec) ->
           if not (Hashtbl.mem seen cl.Explore.cl_key) then begin
@@ -150,11 +170,14 @@ let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true) ?(frontier = 2) ?jobs
   {
     mc_case = case;
     mc_dpor = dpor;
+    mc_engine = engine;
     mc_frontier = frontier;
     mc_tasks = Array.length tasks;
     mc_executions = !execs;
     mc_sleep_blocked = !sleep_blocked;
     mc_deliveries = !deliveries;
+    mc_undos = !undos;
+    mc_tt_hits = !tt_hits;
     mc_classes = classes;
     mc_violations = violations;
   }

@@ -56,19 +56,27 @@ let render ?(stats = false) (o : Driver.outcome) : string =
     (Printf.sprintf "model check: %s\n"
        (Fuzz.Replay.to_string o.Driver.mc_case));
   Buffer.add_string b
-    (Printf.sprintf "mode: %s, frontier depth %d, %d tasks\n"
+    (Printf.sprintf "mode: %s, engine: %s, frontier depth %d, %d tasks\n"
        (if o.Driver.mc_dpor then "dpor" else "naive")
+       (match o.Driver.mc_engine with
+       | Explore.Replay -> "replay"
+       | Explore.Incremental -> "incremental")
        o.Driver.mc_frontier o.Driver.mc_tasks);
   Buffer.add_string b
     (Printf.sprintf
-       "explored: %d maximal executions, %d classes, %d sleep-set prunes\n"
+       "explored: %d maximal executions, %d classes, %d sleep-set prunes, %d \
+        table prunes\n"
        o.Driver.mc_executions
        (List.length o.Driver.mc_classes)
-       o.Driver.mc_sleep_blocked);
+       o.Driver.mc_sleep_blocked o.Driver.mc_tt_hits);
   if stats then
     Buffer.add_string b
-      (Printf.sprintf "deliveries simulated (replays included): %d\n"
-         o.Driver.mc_deliveries);
+      (Printf.sprintf
+         "deliveries simulated (replays included): %d (%d undone, %.2f per \
+          execution)\n"
+         o.Driver.mc_deliveries o.Driver.mc_undos
+         (float_of_int o.Driver.mc_deliveries
+         /. float_of_int (max 1 o.Driver.mc_executions)));
   Buffer.add_string b (render_verdicts o);
   (match o.Driver.mc_violations with
   | [] -> ()

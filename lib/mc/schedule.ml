@@ -36,9 +36,16 @@ let max_budget = 62
     (positioned after the prefix, ready for further choices or
     [ms_run]) and the executed steps.  Choices are clamped to the
     ready-list size, mirroring {!Sim.run_scheduled}; a prefix longer
-    than the execution is cut at the maximal point. *)
+    than the execution is cut at the maximal point.
+
+    Replays run {!Obs.muted}: the simulator-level events of an
+    exploration-internal replay are an engine artifact (the incremental
+    engine reaches the same node without them), so they are kept out of
+    the scoped stream — the trace digest of a model-checking run is a
+    function of the search tree, not of how the engine walks it. *)
 let replay (case : Fuzz.Gen.case) (choices : int list) :
     Fuzz.Gen.mc_session * step array =
+  Obs.muted @@ fun () ->
   let s = Fuzz.Gen.open_session case in
   let steps = ref [] in
   let rec go = function
@@ -65,24 +72,30 @@ let replay (case : Fuzz.Gen.case) (choices : int list) :
   go choices;
   (s, Array.of_list (List.rev !steps))
 
-(** Happens-before masks of a step sequence: bit [j] of [masks.(k)]
-    is set iff step [j] is in the causal past of step [k] (same
-    receiving process, or posting, transitively closed).  The length-
-    [max_budget] cap keeps every mask in one [int]. *)
-let hb_masks (steps : step array) : int array =
+(** The happens-before mask of one more step, given the masks so far:
+    bit [j] of the result is set iff step [j] is in the causal past of
+    the new step (same receiving process, or posting, transitively
+    closed).  [last] is the index of the previous step at the new
+    step's destination ([-1] if none).  The length-[max_budget] cap
+    keeps every mask in one [int]. *)
+let hb_mask_step (masks : int array) ~posted_at ~last =
+  let m = ref 0 in
+  if posted_at >= 0 then m := (1 lsl posted_at) lor masks.(posted_at);
+  if last >= 0 then m := !m lor (1 lsl last) lor masks.(last);
+  !m
+
+(** Happens-before masks of a whole step sequence (the replay engine's
+    per-node recomputation; the incremental engine maintains the same
+    masks one {!hb_mask_step} at a time). *)
+let hb_masks ~nprocs (steps : step array) : int array =
   let k = Array.length steps in
   let masks = Array.make k 0 in
   (* last previous step at each process, for the program-order edge *)
-  let last_at = Hashtbl.create 8 in
+  let last_at = Array.make nprocs (-1) in
   for i = 0 to k - 1 do
-    let m = ref 0 in
-    let c = steps.(i).sp_posted_at in
-    if c >= 0 then m := (1 lsl c) lor masks.(c);
-    (match Hashtbl.find_opt last_at steps.(i).sp_dst with
-    | Some j -> m := !m lor (1 lsl j) lor masks.(j)
-    | None -> ());
-    masks.(i) <- !m;
-    Hashtbl.replace last_at steps.(i).sp_dst i
+    let d = steps.(i).sp_dst in
+    masks.(i) <- hb_mask_step masks ~posted_at:steps.(i).sp_posted_at ~last:last_at.(d);
+    last_at.(d) <- i
   done;
   masks
 

@@ -46,6 +46,7 @@ type buf = {
   mutable bf_scope : int;  (* -1 = ambient *)
   mutable bf_sseq : int;  (* next seq within bf_scope *)
   mutable bf_aseq : int;  (* next ambient seq *)
+  mutable bf_mute : int;  (* {!muted} nesting depth; > 0 silences [on] *)
 }
 
 let enabled = Atomic.make false
@@ -53,8 +54,6 @@ let generation = Atomic.make 0
 let cap_setting = Atomic.make (1 lsl 20)
 let registry : buf list ref = ref []
 let registry_lock = Mutex.create ()
-
-let on () = Atomic.get enabled
 
 let key : buf Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
@@ -67,7 +66,21 @@ let key : buf Domain.DLS.key =
         bf_scope = -1;
         bf_sseq = 0;
         bf_aseq = 0;
+        bf_mute = 0;
       })
+
+(* The mute depth is checked only behind the enabled flag, so the
+   disabled hot path stays one atomic read. *)
+let on () = Atomic.get enabled && (Domain.DLS.get key).bf_mute = 0
+
+let muted f =
+  let b = Domain.DLS.get key in
+  b.bf_mute <- b.bf_mute + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      let b = Domain.DLS.get key in
+      b.bf_mute <- b.bf_mute - 1)
+    f
 
 (* First emission of a domain in a session: reset the counters and
    register the buffer — the only locked operation on the hot path,

@@ -62,6 +62,18 @@ val instant : string -> string -> (string * arg) list -> unit
 val counter : string -> string -> (string * arg) list -> int -> unit
 (** [counter cat name args v] records a sampled counter value [v]. *)
 
+val muted : (unit -> 'a) -> 'a
+(** [muted f] runs [f] with {!on} forced to [false] on the calling
+    domain (nesting-safe, exception-safe).  For engines whose
+    instrumentation must stay a pure function of their {e input} while
+    their {e internals} vary: the incremental model-checking engine
+    replaces replayed deliveries with deliver/undo walks, so the
+    simulator-level events fired during exploration are an engine
+    artifact — muting them keeps the scoped stream (and hence
+    {!digest}) byte-identical across engines.  Do not open a
+    {!with_scope} inside a muted region: scope bookkeeping is behind
+    the same guard. *)
+
 val with_scope : int -> (unit -> 'a) -> 'a
 (** [with_scope id f] runs [f] with events stamped [(id, 0), (id, 1), …].
     Scope ids must be non-negative and, within one capture session,

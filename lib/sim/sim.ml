@@ -618,6 +618,32 @@ let faithful_states result =
    are what an external explorer needs to reconstruct causality. *)
 type 'm ready_env = { re_id : int; re_posted_at : int; re_env : 'm envelope }
 
+(* Undo journal frame: everything one delivery can touch, captured on
+   entry to {!Session.deliver}.  The ready list and trace are immutable
+   (persistent) lists, so saving the old head reference is O(1) and
+   restoring it is exact; the graphs are mutable but append-only, so a
+   watermark pair per graph suffices ({!Graph.truncate}).  A delivery
+   mutates fault state only at the destination, so one saved triple per
+   frame restores it. *)
+type ('s, 'm) undo_frame = {
+  u_ready : 'm ready_env list;
+  u_trace : 's trace_entry list;
+  u_dst : int;
+  u_state : 's option;  (* ss_states.(u_dst) *)
+  u_steps : int;  (* fs_steps.(u_dst) *)
+  u_recv : int;  (* fs_recv_seen.(u_dst) *)
+  u_drops : int;  (* fs_down_drops.(u_dst) *)
+  u_msg_index : int;
+  u_posted : int;
+  u_dropped : int;
+  u_next_env : int;
+  u_stop : bool;
+  u_g_events : int;  (* faithful-graph watermark *)
+  u_g_edges : int;
+  u_f_events : int;  (* full-graph watermark *)
+  u_f_edges : int;
+}
+
 type ('s, 'm) session = {
   ss_cfg : ('s, 'm) config;
   ss_graph : Graph.t;
@@ -632,6 +658,8 @@ type ('s, 'm) session = {
   mutable ss_delivered : int;
   mutable ss_stop : bool;
   mutable ss_next_env : int;
+  ss_record : bool;  (* keep an undo journal? *)
+  mutable ss_journal : ('s, 'm) undo_frame list;  (* newest first *)
 }
 
 module Session = struct
@@ -656,7 +684,7 @@ module Session = struct
       i_faithful_src = re.re_env.env_send_faithful;
     }
 
-  let create (cfg : ('s, 'm) config) : ('s, 'm) t =
+  let create ?(record = false) (cfg : ('s, 'm) config) : ('s, 'm) t =
     let n = cfg.nprocs in
     let wakeups =
       List.init n (fun p ->
@@ -687,6 +715,8 @@ module Session = struct
       ss_delivered = 0;
       ss_stop = false;
       ss_next_env = n;
+      ss_record = record;
+      ss_journal = [];
     }
 
   let graph s = s.ss_graph
@@ -703,6 +733,14 @@ module Session = struct
       s.ss_ready
 
   let ready s = List.map info_of (visible s)
+
+  let iter_ready s f =
+    List.iter
+      (fun re ->
+        if re.re_env.env_sender < 0 || s.ss_states.(re.re_env.env_dst) <> None
+        then
+          f ~env:re.re_id ~dst:re.re_env.env_dst ~posted_at:re.re_posted_at)
+      s.ss_ready
   let delivered s = s.ss_delivered
   let envelopes s = s.ss_next_env
 
@@ -765,6 +803,9 @@ module Session = struct
     s.ss_states.(p) <- state_after;
     let sender_correct_now = not (is_byz_fault cfg.faults.(p)) in
     let omitting = processed && sends_omitted s.ss_fs cfg.faults p in
+    (* postings of this step, newest first; appended to the pending
+       list in one rebuild below instead of one O(n) rebuild per post *)
+    let posts = ref [] in
     List.iter
       (fun { dst; payload } ->
         let idx = s.ss_msg_index in
@@ -788,9 +829,9 @@ module Session = struct
                 env_sender_correct = sender_correct_now;
               }
             in
-            s.ss_ready <-
-              s.ss_ready
-              @ [ { re_id = s.ss_next_env; re_posted_at = step_index; re_env = env' } ];
+            posts :=
+              { re_id = s.ss_next_env; re_posted_at = step_index; re_env = env' }
+              :: !posts;
             s.ss_next_env <- s.ss_next_env + 1
           in
           match List.assoc_opt idx cfg.plan with
@@ -806,6 +847,7 @@ module Session = struct
               enqueue ~dst
         end)
       sends;
+    if !posts <> [] then s.ss_ready <- s.ss_ready @ List.rev !posts;
     s.ss_trace <-
       {
         tr_proc = p;
@@ -820,17 +862,83 @@ module Session = struct
       if cfg.stop_when (Array.map Option.get s.ss_states) then s.ss_stop <- true;
     info_of re
 
+  let push_frame s dst =
+    s.ss_journal <-
+      {
+        u_ready = s.ss_ready;
+        u_trace = s.ss_trace;
+        u_dst = dst;
+        u_state = s.ss_states.(dst);
+        u_steps = s.ss_fs.fs_steps.(dst);
+        u_recv = s.ss_fs.fs_recv_seen.(dst);
+        u_drops = s.ss_fs.fs_down_drops.(dst);
+        u_msg_index = s.ss_msg_index;
+        u_posted = s.ss_posted;
+        u_dropped = s.ss_dropped;
+        u_next_env = s.ss_next_env;
+        u_stop = s.ss_stop;
+        u_g_events = Graph.event_count s.ss_graph;
+        u_g_edges = Graph.edge_count s.ss_graph;
+        u_f_events = Graph.event_count s.ss_full;
+        u_f_edges = Graph.edge_count s.ss_full;
+      }
+      :: s.ss_journal
+
   let deliver s k =
+    if k < 0 then invalid_arg "Sim.Session.deliver: negative choice index";
+    (* one pass over the pending list: find the [k]-th visible entry
+       and unlink it (the suffix is shared, so the journal's captured
+       list head stays valid) *)
     let rec split i acc = function
       | [] -> invalid_arg "Sim.Session.deliver: choice index out of range"
       | re :: rest ->
-          if i = k then (re, List.rev_append acc rest)
-          else split (i + 1) (re :: acc) rest
+          if
+            re.re_env.env_sender < 0
+            || s.ss_states.(re.re_env.env_dst) <> None
+          then
+            if i = k then (re, List.rev_append acc rest)
+            else split (i + 1) (re :: acc) rest
+          else split i (re :: acc) rest
     in
-    if k < 0 then invalid_arg "Sim.Session.deliver: negative choice index";
-    let re, _ = split 0 [] (visible s) in
-    s.ss_ready <- List.filter (fun r -> r.re_id <> re.re_id) s.ss_ready;
+    let re, remaining = split 0 [] s.ss_ready in
+    if s.ss_record then push_frame s re.re_env.env_dst;
+    s.ss_ready <- remaining;
     deliver_re s re
+
+  let snapshot s = s.ss_delivered
+
+  (* Roll the last delivery back.  Everything a delivery touches is
+     either captured in the frame (scalars, the destination's algorithm
+     state and fault counters, the persistent ready/trace list heads)
+     or append-only and watermarked (the two graphs).  Algorithm states
+     and payloads are immutable values, so restoring the old references
+     is exact. *)
+  let undo s =
+    match s.ss_journal with
+    | [] -> invalid_arg "Sim.Session.undo: nothing recorded to undo"
+    | fr :: rest ->
+        Graph.truncate s.ss_graph ~events:fr.u_g_events ~edges:fr.u_g_edges;
+        Graph.truncate s.ss_full ~events:fr.u_f_events ~edges:fr.u_f_edges;
+        s.ss_states.(fr.u_dst) <- fr.u_state;
+        s.ss_fs.fs_steps.(fr.u_dst) <- fr.u_steps;
+        s.ss_fs.fs_recv_seen.(fr.u_dst) <- fr.u_recv;
+        s.ss_fs.fs_down_drops.(fr.u_dst) <- fr.u_drops;
+        s.ss_trace <- fr.u_trace;
+        s.ss_ready <- fr.u_ready;
+        s.ss_msg_index <- fr.u_msg_index;
+        s.ss_posted <- fr.u_posted;
+        s.ss_dropped <- fr.u_dropped;
+        s.ss_next_env <- fr.u_next_env;
+        s.ss_stop <- fr.u_stop;
+        s.ss_delivered <- s.ss_delivered - 1;
+        s.ss_journal <- rest
+
+  let undo_to s target =
+    if target > s.ss_delivered then
+      invalid_arg "Sim.Session.undo_to: target beyond the current point";
+    while s.ss_delivered > target do
+      undo s
+    done
 
   let result ?(allow_unwoken = false) ?(who = "Sim.Session.result") s =
     let final_states =

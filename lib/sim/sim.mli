@@ -264,12 +264,22 @@ module Session : sig
         (** faithful-graph node of the sending step, if kept *)
   }
 
-  val create : ('s, 'm) config -> ('s, 'm) t
-  (** Fresh session: the ready list holds exactly the [n] wake-ups. *)
+  val create : ?record:bool -> ('s, 'm) config -> ('s, 'm) t
+  (** Fresh session: the ready list holds exactly the [n] wake-ups.
+      With [record:true] every {!deliver} pushes an O(1) undo-journal
+      frame, enabling {!undo}; default [false] (no journal, no
+      overhead). *)
 
   val ready : ('s, 'm) t -> info list
   (** Undelivered messages, in posting order (the canonical choice
       order: choice [k] of {!deliver} picks the [k]-th entry). *)
+
+  val iter_ready :
+    ('s, 'm) t -> (env:int -> dst:int -> posted_at:int -> unit) -> unit
+  (** Allocation-free view of {!ready}: calls [f] once per visible
+      entry, in the same order, with the fields an explorer keys on.
+      The model checker's DFS visits a node per delivery, so this is
+      its hottest read path. *)
 
   val deliver : ('s, 'm) t -> int -> info
   (** [deliver s k] removes the [k]-th ready message and executes the
@@ -279,6 +289,25 @@ module Session : sig
   val finished : ('s, 'm) t -> bool
   (** No ready messages, event budget exhausted, or [stop_when]
       satisfied — the execution is maximal. *)
+
+  val snapshot : ('s, 'm) t -> int
+  (** The current logical time (= {!delivered}), as a token for
+      {!undo_to}.  O(1): the undo journal {e is} the snapshot — no
+      state is copied. *)
+
+  val undo : ('s, 'm) t -> unit
+  (** Roll the most recent delivery back: ready list, trace, the
+      destination's algorithm state and fault counters, both execution
+      graphs, and every derived counter return to their exact prior
+      values.  O(Δ) in the work that delivery did.  Requires the
+      session to record ([create ~record:true]).
+      @raise Invalid_argument if there is nothing recorded to undo. *)
+
+  val undo_to : ('s, 'm) t -> int -> unit
+  (** [undo_to s d] undoes until [delivered s = d] (a value previously
+      returned by {!snapshot}).
+      @raise Invalid_argument if [d] lies beyond the current point or
+      before the recorded journal. *)
 
   val graph : ('s, 'm) t -> Execgraph.Graph.t
   (** The faithful execution graph recorded so far (live view). *)

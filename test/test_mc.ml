@@ -134,11 +134,6 @@ let determinism_tests =
         g_session = g_sched);
   ]
 
-let run_modes case =
-  let dpor = Mc.Driver.run ~dpor:true ~jobs:1 case in
-  let naive = Mc.Driver.run ~dpor:false ~jobs:1 case in
-  (dpor, naive)
-
 let equivalence_tests =
   let configs =
     [
@@ -150,29 +145,52 @@ let equivalence_tests =
   [
     Alcotest.test_case "dpor and naive agree on classes and verdicts" `Quick
       (fun () ->
-        let reduced = ref 0 in
+        (* three independent searches of the same box: DPOR (sleep
+           sets), exhaustive naive, and table-pruned naive — all must
+           agree on the class list and every verdict; the reductions
+           must actually reduce against the exhaustive baseline *)
+        let dpor_reduced = ref 0 and tt_reduced = ref 0 in
         List.iter
           (fun (name, case) ->
-            let dpor, naive = run_modes case in
+            let dpor = Mc.Driver.run ~dpor:true ~jobs:1 case in
+            let full = Mc.Driver.run ~dpor:false ~tt:false ~jobs:1 case in
+            let tabled = Mc.Driver.run ~dpor:false ~tt:true ~jobs:1 case in
             let vd = Mc.Mc_report.render_verdicts dpor in
-            let vn = Mc.Mc_report.render_verdicts naive in
+            let vn = Mc.Mc_report.render_verdicts full in
+            let vt = Mc.Mc_report.render_verdicts tabled in
             if vd <> vn then
               Alcotest.failf "%s: verdict mismatch:\n--- dpor ---\n%s--- naive ---\n%s"
                 name vd vn;
-            let kd =
-              List.map (fun c -> c.Mc.Explore.cl_key) dpor.Mc.Driver.mc_classes
+            if vt <> vn then
+              Alcotest.failf
+                "%s: verdict mismatch:\n--- naive+tt ---\n%s--- naive ---\n%s"
+                name vt vn;
+            let keys (o : Mc.Driver.outcome) =
+              List.map (fun c -> c.Mc.Explore.cl_key) o.Mc.Driver.mc_classes
             in
-            let kn =
-              List.map (fun c -> c.Mc.Explore.cl_key) naive.Mc.Driver.mc_classes
+            if keys dpor <> keys full then
+              Alcotest.failf "%s: dpor/naive class key sets differ" name;
+            if keys tabled <> keys full then
+              Alcotest.failf "%s: naive+tt/naive class key sets differ" name;
+            (* the table preserves first-seen representatives exactly *)
+            let reps (o : Mc.Driver.outcome) =
+              List.map (fun c -> c.Mc.Explore.cl_choices) o.Mc.Driver.mc_classes
             in
-            if kd <> kn then Alcotest.failf "%s: class key sets differ" name;
-            if dpor.Mc.Driver.mc_executions > naive.Mc.Driver.mc_executions then
+            if reps tabled <> reps full then
+              Alcotest.failf "%s: the table changed class representatives" name;
+            if dpor.Mc.Driver.mc_executions > full.Mc.Driver.mc_executions then
               Alcotest.failf "%s: dpor explored MORE executions than naive" name;
-            if naive.Mc.Driver.mc_executions > dpor.Mc.Driver.mc_executions then
-              incr reduced)
+            if tabled.Mc.Driver.mc_executions > full.Mc.Driver.mc_executions
+            then
+              Alcotest.failf "%s: the table INCREASED naive executions" name;
+            if full.Mc.Driver.mc_executions > dpor.Mc.Driver.mc_executions then
+              incr dpor_reduced;
+            if tabled.Mc.Driver.mc_tt_hits > 0 then incr tt_reduced)
           configs;
-        if !reduced = 0 then
-          Alcotest.fail "no config showed a reduction ratio > 1");
+        if !dpor_reduced = 0 then
+          Alcotest.fail "no config showed a dpor reduction ratio > 1";
+        if !tt_reduced = 0 then
+          Alcotest.fail "no config showed a transposition-table prune");
   ]
 
 let jobs_tests =

@@ -1,0 +1,188 @@
+(* The incremental exploration engine against the stateless replay
+   engine: both drive the same DFS, so every output — class keys,
+   representative schedules, verdicts, and the scoped Obs event stream
+   — must be byte-identical, on clean boxes and under faults, plans
+   and the resilience boundary, at any worker count.
+
+   Also pinned here: the near-linear deliveries-per-execution the
+   engine exists to deliver, the incremental Canon.State fingerprint
+   against a from-scratch refold, and an allocation tripwire on the
+   e=8 search (the per-node churn the engine removed — ready-list
+   copies, env→dst tables, per-node replays — would put it right
+   back over). *)
+
+open Fuzz
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let q = Rat.of_ints
+
+let clock_box ?(boundary = false) ?faults ?(plan = []) ?(nprocs = 3) ~budget
+    () =
+  let faults =
+    match faults with Some f -> f | None -> Array.make nprocs Sim.Correct
+  in
+  {
+    Gen.c_seed = 1;
+    c_nprocs = nprocs;
+    c_faults = faults;
+    c_xi = q 2 1;
+    c_sched = Gen.S_async { max_delay = Rat.one };
+    c_workload = Gen.W_clock;
+    c_max_events = budget;
+    c_plan = plan;
+    c_boundary = boundary;
+    c_schedule = [];
+  }
+
+let boxes =
+  [
+    ("clean", clock_box ~budget:7 ());
+    ( "crash",
+      clock_box
+        ~faults:[| Sim.Correct; Sim.Correct; Sim.Correct; Sim.Crash 1 |]
+        ~nprocs:4 ~budget:7 () );
+    ( "plan drop+misdirect",
+      clock_box ~plan:[ (3, Sim.P_drop); (5, Sim.P_misdirect 0) ] ~budget:7 ()
+    );
+    ( "boundary equivocator",
+      { (clock_box
+           ~faults:[| Sim.Correct; Sim.Correct; Byz.fault Byz.Equivocator |]
+           ~budget:7 ())
+        with
+        Gen.c_boundary = true;
+        c_xi = q 3 2;
+      } );
+  ]
+
+let signature (o : Mc.Driver.outcome) =
+  ( List.map
+      (fun (c : Mc.Explore.class_rec) ->
+        (c.Mc.Explore.cl_key, c.Mc.Explore.cl_choices))
+      o.Mc.Driver.mc_classes,
+    Mc.Mc_report.render_verdicts o )
+
+let engine_tests =
+  [
+    Alcotest.test_case
+      "replay and incremental engines agree byte-for-byte on every box"
+      `Quick (fun () ->
+        List.iter
+          (fun (name, case) ->
+            let inc =
+              Mc.Driver.run ~engine:Mc.Explore.Incremental ~jobs:1 case
+            in
+            let rep = Mc.Driver.run ~engine:Mc.Explore.Replay ~jobs:1 case in
+            if signature inc <> signature rep then
+              Alcotest.failf "%s: engines disagree:\n--- incremental ---\n%s\n\
+                              --- replay ---\n%s"
+                name
+                (Mc.Mc_report.render ~stats:false inc)
+                (Mc.Mc_report.render ~stats:false rep);
+            (* the whole point of the engine: deliveries near the
+               schedule depth, not quadratic in it *)
+            let dpe o =
+              float_of_int o.Mc.Driver.mc_deliveries
+              /. float_of_int (max 1 o.Mc.Driver.mc_executions)
+            in
+            if dpe inc > 1.5 *. float_of_int case.Gen.c_max_events then
+              Alcotest.failf "%s: incremental engine replays (%.2f del/exec)"
+                name (dpe inc);
+            if inc.Mc.Driver.mc_undos = 0 then
+              Alcotest.failf "%s: incremental engine recorded no undos" name)
+          boxes);
+    Alcotest.test_case "engine and jobs leave the Obs trace digest alone"
+      `Quick (fun () ->
+        (* the digest covers the scoped mc event stream — expansion,
+           race and prune instants — so it certifies the two engines
+           (and any worker count) walk the identical tree *)
+        let case = clock_box ~budget:6 () in
+        let digest ~engine ~jobs =
+          let (), trace =
+            Obs.capture (fun () ->
+                ignore (Mc.Driver.run ~engine ~jobs case))
+          in
+          Obs.digest trace
+        in
+        let d = digest ~engine:Mc.Explore.Incremental ~jobs:1 in
+        List.iter
+          (fun (name, d') ->
+            if d' <> d then
+              Alcotest.failf "%s changed the trace digest (%s vs %s)" name d'
+                d)
+          [
+            ("replay engine", digest ~engine:Mc.Explore.Replay ~jobs:1);
+            ("jobs=2", digest ~engine:Mc.Explore.Incremental ~jobs:2);
+            ("replay at jobs=2", digest ~engine:Mc.Explore.Replay ~jobs:2);
+          ]);
+  ]
+
+(* Canon.State maintains the class fingerprint push/pop; folding the
+   same steps from scratch must land on the same pair at every prefix,
+   including after pops (the journal restore). *)
+let fingerprint_tests =
+  let arb_choices =
+    QCheck.make
+      ~print:(fun l -> String.concat "." (List.map string_of_int l))
+      QCheck.Gen.(list_size (int_range 1 8) (int_range 0 5))
+  in
+  [
+    prop "incremental fingerprint equals a from-scratch refold" 100
+      arb_choices (fun choices ->
+        let case = clock_box ~budget:8 () in
+        let _, steps = Mc.Schedule.replay case choices in
+        let nprocs = case.Gen.c_nprocs in
+        let st = Mc.Canon.State.create ~nprocs in
+        let ok = ref true in
+        Array.iteri
+          (fun i sp ->
+            Mc.Canon.State.push st sp;
+            if
+              Mc.Canon.State.fingerprint st
+              <> Mc.Canon.State.of_steps ~nprocs steps (i + 1)
+            then ok := false)
+          steps;
+        (* pop halfway back and re-push: the journal must restore the
+           rolling state exactly *)
+        let k = Array.length steps / 2 in
+        for _ = 1 to Array.length steps - k do
+          Mc.Canon.State.pop st
+        done;
+        if Mc.Canon.State.fingerprint st <> Mc.Canon.State.of_steps ~nprocs steps k
+        then ok := false;
+        for i = k to Array.length steps - 1 do
+          Mc.Canon.State.push st steps.(i)
+        done;
+        !ok
+        && Mc.Canon.State.fingerprint st
+           = Mc.Canon.State.of_steps ~nprocs steps (Array.length steps));
+  ]
+
+(* The e=8 search allocates ~50 MB in the reference container; the
+   stateless engine's per-node replays put it over 300 MB and the
+   pre-engine per-node churn (ready-list copies, env→dst Hashtbls)
+   was of the same order, so a generous 3x ceiling still catches
+   either regression loudly. *)
+let tripwire_ceiling_bytes = 150e6
+
+let tripwire_tests =
+  [
+    Alcotest.test_case "e=8 search stays under the allocation ceiling" `Slow
+      (fun () ->
+        let case = clock_box ~budget:8 () in
+        let a0 = Gc.allocated_bytes () in
+        let o = Mc.Driver.run ~oracles:[] ~dpor:true ~jobs:1 case in
+        let allocated = Gc.allocated_bytes () -. a0 in
+        Alcotest.(check bool)
+          "the search is the expected one" true
+          (o.Mc.Driver.mc_executions > 1000);
+        if allocated > tripwire_ceiling_bytes then
+          Alcotest.failf
+            "e=8 search allocated %.0f MB, over the %.0f MB tripwire: \
+             per-node allocation churn is back in the explorer"
+            (allocated /. 1e6)
+            (tripwire_ceiling_bytes /. 1e6));
+  ]
+
+let suite = engine_tests @ fingerprint_tests @ tripwire_tests

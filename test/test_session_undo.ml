@@ -1,0 +1,205 @@
+(* Snapshot/undo correctness for Sim.Session — the contract the
+   incremental exploration engine stands on.
+
+   The qcheck property drives a recording session through a random
+   interleaving of deliveries, snapshots and undos (choices random,
+   undo depth random) and demands that the observable state — ready
+   list with every info field, delivered/envelope counters, finished
+   flag, and finally the terminal execution's faithful graph — is
+   byte-identical to a fresh session that replays only the surviving
+   choice stack.  Cases come from the fuzzer's full nemesis palette,
+   so crashes, recovery, omission, byzantine strategies and fault
+   plans are all under the journal.
+
+   The unit tests pin the edges the property reaches rarely: undo
+   across a crash boundary and across plan-level drops/misdirects,
+   undo from a budget-cut terminal, and the two misuse raises. *)
+
+open Fuzz
+
+let q = Rat.of_ints
+
+let box ?(faults = [| Sim.Correct; Sim.Correct; Sim.Correct |]) ?(plan = [])
+    ?(budget = 10) () =
+  {
+    Gen.c_seed = 1;
+    c_nprocs = Array.length faults;
+    c_faults = faults;
+    c_xi = q 2 1;
+    c_sched = Gen.S_async { max_delay = Rat.one };
+    c_workload = Gen.W_clock;
+    c_max_events = budget;
+    c_plan = plan;
+    c_boundary = false;
+    c_schedule = [];
+  }
+
+let graph_dump g = Format.asprintf "%a" Execgraph.Graph.pp g
+
+(* everything an explorer can see of a session, rendered *)
+let observe (s : Gen.mc_session) =
+  Printf.sprintf "delivered=%d envelopes=%d finished=%b ready=[%s]"
+    (s.Gen.ms_delivered ()) (s.Gen.ms_envelopes ()) (s.Gen.ms_finished ())
+    (String.concat ";"
+       (List.map
+          (fun (i : Sim.Session.info) ->
+            Printf.sprintf "%d:%d>%d@%d%s%s" i.Sim.Session.i_env
+              i.Sim.Session.i_sender i.Sim.Session.i_dst
+              i.Sim.Session.i_posted_at
+              (if i.Sim.Session.i_correct then "" else "!")
+              (match i.Sim.Session.i_faithful_src with
+              | None -> ""
+              | Some v -> Printf.sprintf "^%d" v))
+          (s.Gen.ms_ready ())))
+
+(* replay [choices] (in delivery order) on a fresh session *)
+let replay_fresh case choices =
+  let s = Gen.open_session case in
+  List.iter (fun c -> ignore (s.Gen.ms_deliver c)) choices;
+  s
+
+let check_matches_fresh name case choices (s : Gen.mc_session) =
+  let fresh = replay_fresh case choices in
+  Alcotest.(check string)
+    (name ^ ": observable state matches a fresh replay")
+    (observe fresh) (observe s)
+
+(* drive both sessions to a maximal point the same way and compare the
+   terminal executions *)
+let check_terminal_matches_fresh name case choices (s : Gen.mc_session) =
+  let fresh = replay_fresh case choices in
+  let finish (t : Gen.mc_session) =
+    while not (t.Gen.ms_finished ()) do
+      ignore (t.Gen.ms_deliver 0)
+    done;
+    ( t.Gen.ms_delivered (),
+      graph_dump (Gen.graph_of_run (t.Gen.ms_run ())) )
+  in
+  let dn, gn = finish s and df, gf = finish fresh in
+  Alcotest.(check int) (name ^ ": terminal delivered count") df dn;
+  Alcotest.(check string) (name ^ ": terminal faithful graph") gf gn
+
+let property_tests =
+  let prop name count arb f =
+    QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, ops) ->
+        Printf.sprintf "seed=%d ops=[%s]" seed
+          (String.concat ";" (List.map string_of_int ops)))
+      QCheck.Gen.(pair (int_range 0 2000) (list_size (int_range 1 40) nat))
+  in
+  [
+    prop "random step/snapshot/undo interleavings match a fresh replay" 150
+      arb
+      (fun (seed, ops) ->
+        let case = Gen.generate ~seed in
+        let s = Gen.open_session ~record:true case in
+        let stack = ref [] in
+        (* interpret each op against the live session: 0/1 deliver a
+           random ready message, 2 undoes one delivery, 3 checks the
+           snapshot token, 4 undoes a whole random suffix *)
+        List.iter
+          (fun op ->
+            match op mod 5 with
+            | 2 when !stack <> [] ->
+                s.Gen.ms_undo ();
+                stack := List.tl !stack
+            | 3 ->
+                if s.Gen.ms_snapshot () <> List.length !stack then
+                  QCheck.Test.fail_reportf
+                    "snapshot %d after %d surviving deliveries"
+                    (s.Gen.ms_snapshot ()) (List.length !stack)
+            | 4 when !stack <> [] ->
+                let k = 1 + (op mod List.length !stack) in
+                for _ = 1 to k do
+                  s.Gen.ms_undo ();
+                  stack := List.tl !stack
+                done
+            | _ ->
+                if not (s.Gen.ms_finished ()) then begin
+                  let n = List.length (s.Gen.ms_ready ()) in
+                  let c = op mod n in
+                  ignore (s.Gen.ms_deliver c);
+                  stack := c :: !stack
+                end)
+          ops;
+        let choices = List.rev !stack in
+        let fresh = replay_fresh case choices in
+        if observe fresh <> observe s then
+          QCheck.Test.fail_reportf
+            "diverged from fresh replay of %s:\nlive:  %s\nfresh: %s"
+            (Replay.to_string case) (observe s) (observe fresh);
+        true);
+  ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "undo across crash, recovery and omission faults"
+      `Quick (fun () ->
+        (* n = 10 keeps n >= 3f + 1 with all three fault shapes live *)
+        let faults = Array.make 10 Sim.Correct in
+        faults.(1) <- Sim.Crash 1;
+        faults.(4) <- Sim.Recover (1, 2);
+        faults.(7) <- Sim.Receive_omission 2;
+        let case = box ~faults ~budget:14 () in
+        let s = Gen.open_session ~record:true case in
+        (* walk in, roll everything back, walk the same path again:
+           fault counters must rewind exactly with the states *)
+        let choices = [ 0; 1; 0; 2; 1; 0 ] in
+        List.iter (fun c -> ignore (s.Gen.ms_deliver c)) choices;
+        let at_depth = observe s in
+        for _ = 1 to List.length choices do
+          s.Gen.ms_undo ()
+        done;
+        check_matches_fresh "rewound to the root" case [] s;
+        List.iter (fun c -> ignore (s.Gen.ms_deliver c)) choices;
+        Alcotest.(check string) "re-delivery reproduces the state" at_depth
+          (observe s);
+        check_terminal_matches_fresh "terminal after rewind" case choices s);
+    Alcotest.test_case "undo across plan drops and misdirects" `Quick
+      (fun () ->
+        let case =
+          box
+            ~plan:[ (3, Sim.P_drop); (4, Sim.P_misdirect 0); (6, Sim.P_drop) ]
+            ~budget:10 ()
+        in
+        let s = Gen.open_session ~record:true case in
+        let choices = [ 0; 0; 1; 0 ] in
+        List.iter (fun c -> ignore (s.Gen.ms_deliver c)) choices;
+        s.Gen.ms_undo ();
+        s.Gen.ms_undo ();
+        check_matches_fresh "after undoing past planned faults" case [ 0; 0 ]
+          s;
+        check_terminal_matches_fresh "terminal with a plan" case [ 0; 0 ] s);
+    Alcotest.test_case "undo from a budget-cut terminal" `Quick (fun () ->
+        let case = box ~budget:4 () in
+        let s = Gen.open_session ~record:true case in
+        let steps = ref 0 in
+        while not (s.Gen.ms_finished ()) do
+          ignore (s.Gen.ms_deliver 0);
+          incr steps
+        done;
+        Alcotest.(check int) "budget cut the execution" 4 !steps;
+        s.Gen.ms_undo ();
+        Alcotest.(check bool) "one undo reopens the execution" false
+          (s.Gen.ms_finished ());
+        check_matches_fresh "below the cut" case [ 0; 0; 0 ] s;
+        (* delivering again re-reaches a maximal point *)
+        check_terminal_matches_fresh "re-finished" case [ 0; 0; 0 ] s);
+    Alcotest.test_case "undo with nothing recorded raises" `Quick (fun () ->
+        let s = Gen.open_session ~record:true (box ()) in
+        Alcotest.check_raises "empty journal"
+          (Invalid_argument "Sim.Session.undo: nothing recorded to undo")
+          (fun () -> s.Gen.ms_undo ()));
+    Alcotest.test_case "undo on a non-recording session raises" `Quick
+      (fun () ->
+        let s = Gen.open_session (box ()) in
+        ignore (s.Gen.ms_deliver 0);
+        Alcotest.check_raises "no journal"
+          (Invalid_argument "Sim.Session.undo: nothing recorded to undo")
+          (fun () -> s.Gen.ms_undo ()));
+  ]
+
+let suite = unit_tests @ property_tests
