@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz boundary check check-par mc-smoke bench reports coverage clean
+.PHONY: all build test fuzz boundary check check-par mc-smoke dist-smoke bench reports coverage clean
 
 # Cases for the parallel determinism check; override with
 # `make check-par CASES=1000` for the full acceptance run.
@@ -47,6 +47,30 @@ mc-smoke: build
 	dune exec bin/abc_cli.exe -- mc --procs 3 --budget 6 --cross-check --jobs 1
 	dune exec bin/abc_cli.exe -- mc --procs 3 --budget 8 --cross-check --jobs 1
 	dune exec bench/main.exe -- mc --out BENCH_mc.json
+
+# Distributed-campaign smoke: the sharded subprocess runner must be
+# byte-identical to the serial report even under a kill+stall nemesis;
+# a supervisor-killed checkpointed run must exit 3 and then --resume
+# to exactly the uninterrupted report; the sharded model checker must
+# match its serial run; and the dist bench must agree (it exits
+# non-zero on any divergence and writes BENCH_dist.json).
+dist-smoke: build
+	dune exec bin/abc_cli.exe -- fuzz --cases 200 --seed 1 > _build/dist_serial.txt
+	dune exec bin/abc_cli.exe -- fuzz --cases 200 --seed 1 --shards 4 \
+	  --nemesis 'kill:0@2,stall:1@1' --heartbeat 2 > _build/dist_sharded.txt
+	cmp _build/dist_serial.txt _build/dist_sharded.txt
+	rm -f _build/dist.ckpt
+	dune exec bin/abc_cli.exe -- fuzz --cases 200 --seed 1 --shards 4 \
+	  --checkpoint _build/dist.ckpt --nemesis 'skill@2' > /dev/null; test $$? -eq 3
+	dune exec bin/abc_cli.exe -- fuzz --cases 200 --seed 1 --shards 4 \
+	  --resume _build/dist.ckpt > _build/dist_resumed.txt
+	cmp _build/dist_serial.txt _build/dist_resumed.txt
+	dune exec bin/abc_cli.exe -- mc --procs 3 --budget 5 --faults C,C,Beq \
+	  --boundary > _build/dist_mc_serial.txt
+	dune exec bin/abc_cli.exe -- mc --procs 3 --budget 5 --faults C,C,Beq \
+	  --boundary --shards 2 > _build/dist_mc_sharded.txt
+	cmp _build/dist_mc_serial.txt _build/dist_mc_sharded.txt
+	dune exec bench/main.exe -- dist --out BENCH_dist.json
 
 reports: build
 	dune exec bench/main.exe -- reports

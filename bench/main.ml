@@ -1474,12 +1474,77 @@ let run_obs_bench ~out =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Dist series: the same campaign serially, sharded across worker
+   subprocesses, and sharded under a nemesis that kills one worker and
+   corrupts another's stream.  The number that matters is boolean —
+   all three reports byte-identical — with the walls recorded so a
+   dispatch-overhead regression is visible in the series. *)
+
+let dist_nemesis_spec = "kill:0@1,corrupt:1@1"
+
+let run_dist_bench ~cases ~seed ~shards ~out =
+  Format.printf
+    "dist series: serial vs %d-shard subprocess campaign, cases=%d seed=%d@."
+    shards cases seed;
+  let time f =
+    let t0 = Pool.now () in
+    let r = f () in
+    (r, Pool.now () -. t0)
+  in
+  let serial, serial_wall =
+    time (fun () ->
+        Fuzz.Campaign.run ~oracles:Fuzz.Oracle.registry ~shrink:true ~jobs:1
+          ~cases ~seed ())
+  in
+  let serial_r = Fuzz.Report.render serial in
+  Format.printf "  serial:            %.2fs@." serial_wall;
+  let shard_run ~nemesis =
+    let cfg = Dist.Supervisor.make_config ~nemesis ~shards () in
+    time (fun () ->
+        Dist.Supervisor.run_fuzz ~quiet:true cfg ~seed ~cases ~boundary:false
+          ~shrink:true ~oracles:None ())
+  in
+  let sharded, sharded_wall = shard_run ~nemesis:Dist.Nemesis.none in
+  let identical = Fuzz.Report.render sharded = serial_r in
+  Format.printf "  %d shards:          %.2fs, byte-identical: %b@." shards
+    sharded_wall identical;
+  let nemesis =
+    match Dist.Nemesis.parse dist_nemesis_spec with
+    | Ok n -> n
+    | Error e -> failwith e
+  in
+  let nem, nem_wall = shard_run ~nemesis in
+  let nem_identical = Fuzz.Report.render nem = serial_r in
+  Format.printf "  %d shards + nemesis: %.2fs, byte-identical: %b@." shards
+    nem_wall nem_identical;
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf
+    "{\n\
+    \  \"bench\": \"dist\",\n\
+    \  \"campaign\": {\"cases\": %d, \"seed\": %d, \"shards\": %d},\n\
+    \  \"serial_wall_s\": %.3f,\n\
+    \  \"sharded_wall_s\": %.3f,\n\
+    \  \"nemesis\": %S,\n\
+    \  \"nemesis_wall_s\": %.3f,\n\
+    \  \"identical\": %b,\n\
+    \  \"nemesis_identical\": %b\n\
+     }\n"
+    cases seed shards serial_wall sharded_wall dist_nemesis_spec nem_wall
+    identical nem_identical;
+  write_file out (Buffer.contents buf);
+  Format.printf "  series written to %s@." out;
+  if not (identical && nem_identical) then begin
+    Format.eprintf "error: sharded report diverged from the serial one@.";
+    exit 1
+  end
+
 let usage () =
   prerr_endline
     "usage: main.exe [reports [SECTION...] [-j N]] | [pool [--cases N] \
      [--jobs N] [--seed N] [--out FILE]] | [rat [--out FILE]] | [byz [--out \
      FILE]] | [mc [--procs N] [--budget B] [--out FILE]] | [obs [--out \
-     FILE]]";
+     FILE]] | [dist [--cases N] [--seed N] [--shards N] [--out FILE]]";
   exit 2
 
 let int_arg name = function
@@ -1494,6 +1559,9 @@ let int_arg name = function
       exit 2
 
 let () =
+  (* The dist supervisor re-executes whatever binary spawned it as its
+     workers; this makes the bench harness self-hosting too. *)
+  Dist.Worker.maybe_run ();
   match Array.to_list Sys.argv with
   | _ :: "reports" :: rest ->
       let rec go only jobs = function
@@ -1560,6 +1628,22 @@ let () =
         | _ -> usage ()
       in
       go ~out:"BENCH_obs.json" rest
+  | _ :: "dist" :: rest ->
+      let rec go ~cases ~seed ~shards ~out = function
+        | [] -> run_dist_bench ~cases ~seed ~shards ~out
+        | "--cases" :: rest ->
+            let cases, rest = int_arg "--cases" rest in
+            go ~cases ~seed ~shards ~out rest
+        | "--seed" :: rest ->
+            let seed, rest = int_arg "--seed" rest in
+            go ~cases ~seed ~shards ~out rest
+        | "--shards" :: rest ->
+            let shards, rest = int_arg "--shards" rest in
+            go ~cases ~seed ~shards:(max 1 shards) ~out rest
+        | "--out" :: file :: rest -> go ~cases ~seed ~shards ~out:file rest
+        | _ -> usage ()
+      in
+      go ~cases:120 ~seed:1 ~shards:4 ~out:"BENCH_dist.json" rest
   | [ _ ] ->
       run_reports ();
       run_benchmarks ()

@@ -331,7 +331,8 @@ let list_oracle_registry () =
 
 let cmd_fuzz =
   let run cases seed time_budget replay emit no_shrink oracle_spec jobs timing
-      boundary expect_violations =
+      boundary expect_violations shards checkpoint resume_from nemesis_spec
+      heartbeat =
     let oracle_selection =
       match oracle_spec with
       | None -> Ok None
@@ -369,34 +370,89 @@ let cmd_fuzz =
           in
           print_endline (Fuzz.Replay.to_string (gen ~seed:s));
           0
-      | None, None ->
-          let time_budget = if time_budget > 0.0 then Some time_budget else None in
-          let jobs = if jobs > 0 then Some jobs else None in
-          let outcome =
-            Fuzz.Campaign.run ~oracles ~shrink:(not no_shrink) ~boundary
-              ?time_budget ?jobs ~cases ~seed ()
+      | None, None -> (
+          let report outcome =
+            print_string (Fuzz.Report.render outcome);
+            (* stderr, not stdout: the report stays byte-deterministic *)
+            if timing then prerr_string (Fuzz.Report.render_cost outcome);
+            if expect_violations then
+              (* negative mode: the campaign must WITNESS violations — at
+                 the boundary, every boundary oracle must have failed at
+                 least once *)
+              let is_boundary_oracle n =
+                String.length n >= 9 && String.sub n 0 9 = "boundary-"
+              in
+              let witnessed =
+                outcome.Fuzz.Campaign.cp_failures <> []
+                && List.for_all
+                     (fun (n, s) ->
+                       (not (boundary && is_boundary_oracle n))
+                       || s.Fuzz.Campaign.os_fail > 0)
+                     outcome.Fuzz.Campaign.cp_stats
+              in
+              if witnessed then 0 else 1
+            else if outcome.Fuzz.Campaign.cp_failures = [] then 0
+            else 1
           in
-          print_string (Fuzz.Report.render outcome);
-          (* stderr, not stdout: the report stays byte-deterministic *)
-          if timing then prerr_string (Fuzz.Report.render_cost outcome);
-          if expect_violations then
-            (* negative mode: the campaign must WITNESS violations — at
-               the boundary, every boundary oracle must have failed at
-               least once *)
-            let is_boundary_oracle n =
-              String.length n >= 9 && String.sub n 0 9 = "boundary-"
+          if shards > 0 then
+            (* sharded: worker subprocesses, supervised; the report is
+               byte-identical to the serial one whatever the shard
+               count, worker deaths, or retry history *)
+            if time_budget > 0.0 then begin
+              Format.eprintf
+                "error: --shards needs a fixed case count, not --time-budget \
+                 (the unit partition must be deterministic)@.";
+              1
+            end
+            else if checkpoint <> None && resume_from <> None then begin
+              Format.eprintf
+                "error: --checkpoint starts a fresh journal, --resume \
+                 continues one; pick one@.";
+              1
+            end
+            else
+              let nemesis =
+                match nemesis_spec with
+                | None -> Ok Dist.Nemesis.none
+                | Some s -> Dist.Nemesis.parse s
+              in
+              match nemesis with
+              | Error e ->
+                  Format.eprintf "error: %s@." e;
+                  1
+              | Ok nemesis -> (
+                  let checkpoint, resume =
+                    match resume_from with
+                    | Some f -> (Some f, true)
+                    | None -> (checkpoint, false)
+                  in
+                  let cfg =
+                    Dist.Supervisor.make_config ~shards ~heartbeat ?checkpoint
+                      ~resume ~nemesis ()
+                  in
+                  match
+                    Dist.Supervisor.run_fuzz cfg ~seed ~cases ~boundary
+                      ~shrink:(not no_shrink) ~oracles:oracle_spec ()
+                  with
+                  | outcome -> report outcome
+                  | exception Dist.Nemesis.Supervisor_killed n ->
+                      Format.eprintf
+                        "abc fuzz: supervisor killed by nemesis after %d \
+                         merged units (checkpoint is durable; --resume \
+                         continues)@."
+                        n;
+                      3
+                  | exception Dist.Supervisor.Dist_error e ->
+                      Format.eprintf "error: %s@." e;
+                      1)
+          else
+            let time_budget =
+              if time_budget > 0.0 then Some time_budget else None
             in
-            let witnessed =
-              outcome.Fuzz.Campaign.cp_failures <> []
-              && List.for_all
-                   (fun (n, s) ->
-                     (not (boundary && is_boundary_oracle n))
-                     || s.Fuzz.Campaign.os_fail > 0)
-                   outcome.Fuzz.Campaign.cp_stats
-            in
-            if witnessed then 0 else 1
-          else if outcome.Fuzz.Campaign.cp_failures = [] then 0
-          else 1)
+            let jobs = if jobs > 0 then Some jobs else None in
+            report
+              (Fuzz.Campaign.run ~oracles ~shrink:(not no_shrink) ~boundary
+                 ?time_budget ?jobs ~cases ~seed ())))
   in
   let cases =
     Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc:"Number of cases to run.")
@@ -466,10 +522,57 @@ let cmd_fuzz =
              witnessed violations (with $(b,--boundary), iff every boundary \
              oracle failed at least once).")
   in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run the campaign on N supervised worker subprocesses (0 = \
+             in-process).  The report is byte-identical to the serial one for \
+             any N, including across worker crashes and retries.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead journal for $(b,--shards): every merged unit is \
+             appended (CRC'd, fsync'd) before it counts, so a killed \
+             supervisor can $(b,--resume).")
+  in
+  let resume_from =
+    Arg.(
+      value & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume a sharded campaign from its checkpoint journal: completed \
+             units are adopted after validation, the rest re-run, and the \
+             final report is identical to an uninterrupted run.")
+  in
+  let nemesis_spec =
+    Arg.(
+      value & opt (some string) None
+      & info [ "nemesis" ] ~docv:"PLAN"
+          ~doc:
+            "Harness-nemesis fault plan for $(b,--shards), e.g. \
+             $(b,kill:0@2,stall:1@1,skill@3): kill/stall/corrupt/trunc/dup/flip \
+             a worker at a deterministic shard boundary, or kill the \
+             supervisor itself after its S-th merged unit.")
+  in
+  let heartbeat =
+    Arg.(
+      value & opt float 30.0
+      & info [ "heartbeat" ] ~docv:"SECS"
+          ~doc:
+            "Silence tolerance for $(b,--shards): a worker holding a unit \
+             that sends nothing for this long is killed and its unit \
+             re-dispatched.")
+  in
   let term =
     Term.(
       const run $ cases $ seed_arg $ time_budget $ replay $ emit $ no_shrink
-      $ oracle_spec $ jobs $ timing $ boundary $ expect_violations)
+      $ oracle_spec $ jobs $ timing $ boundary $ expect_violations $ shards
+      $ checkpoint $ resume_from $ nemesis_spec $ heartbeat)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -484,7 +587,7 @@ let cmd_fuzz =
 
 let cmd_mc =
   let run procs xi budget workload faults boundary seed jobs frontier no_dpor
-      engine no_tt cross_check stats =
+      engine no_tt cross_check stats shards =
     let ( let* ) r f =
       match r with
       | Error e ->
@@ -544,7 +647,19 @@ let cmd_mc =
     let jobs = if jobs > 0 then Some jobs else None in
     let tt = not no_tt in
     let dpor = not no_dpor in
-    let outcome = Mc.Driver.run ~dpor ~engine ~tt ~frontier ?jobs case in
+    let* outcome =
+      if shards > 0 then
+        (* frontier tasks sharded across worker subprocesses; the merge
+           is the same pure function, so the report is byte-identical *)
+        let cfg = Dist.Supervisor.make_config ~shards () in
+        match
+          Dist.Supervisor.run_mc cfg ~dpor
+            ~incremental:(engine = Mc.Explore.Incremental) ~tt ~frontier case
+        with
+        | o -> Ok o
+        | exception Dist.Supervisor.Dist_error e -> Error e
+      else Ok (Mc.Driver.run ~dpor ~engine ~tt ~frontier ?jobs case)
+    in
     print_string (Mc.Mc_report.render ~stats outcome);
     let ok = ref (outcome.Mc.Driver.mc_violations = []) in
     if cross_check then begin
@@ -683,11 +798,19 @@ let cmd_mc =
       value & flag
       & info [ "stats" ] ~doc:"Include replay-amplification statistics in the report.")
   in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Explore the frontier tasks on N supervised worker subprocesses \
+             (0 = in-process).  The report is byte-identical whatever N.")
+  in
   let term =
     Term.(
       const run $ procs_arg ~default:3 $ xi_arg $ budget $ workload $ faults
       $ boundary $ seed_arg $ jobs $ frontier $ no_dpor $ engine $ no_tt
-      $ cross_check $ stats)
+      $ cross_check $ stats $ shards)
   in
   Cmd.v
     (Cmd.info "mc"
@@ -721,10 +844,11 @@ let cmd_trace =
       | None -> Ok None
       | Some s ->
           let toks = if s = "" then [] else String.split_on_char ',' s in
-          let valid = [ "sim"; "fuzz"; "mc"; "pool" ] in
+          let valid = [ "sim"; "fuzz"; "mc"; "pool"; "dist" ] in
           if toks <> [] && List.for_all (fun t -> List.mem t valid) toks then
             Ok (Some toks)
-          else Error "bad --filter (comma-separated subset of sim,fuzz,mc,pool)"
+          else
+            Error "bad --filter (comma-separated subset of sim,fuzz,mc,pool,dist)"
     in
     let* () =
       if replay <> None && mc then
@@ -846,7 +970,7 @@ let cmd_trace =
       & info [ "filter" ] ~docv:"CATS"
           ~doc:
             "Keep only these event categories (comma-separated subset of \
-             sim,fuzz,mc,pool).  The digest is computed on the filtered \
+             sim,fuzz,mc,pool,dist).  The digest is computed on the filtered \
              stream.")
   in
   let no_wall =
@@ -879,12 +1003,48 @@ let cmd_trace =
     term
 
 (* ------------------------------------------------------------------ *)
+(* worker *)
+
+let cmd_worker =
+  let run id nemesis =
+    match
+      match nemesis with
+      | None -> Ok Dist.Nemesis.none
+      | Some s -> Dist.Nemesis.parse s
+    with
+    | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+    | Ok nemesis -> Dist.Worker.run ~id ~nemesis
+  in
+  let id =
+    Arg.(
+      value & opt int 0
+      & info [ "id" ] ~docv:"N" ~doc:"Worker id (names this worker in nemesis plans).")
+  in
+  let nemesis =
+    Arg.(
+      value & opt (some string) None
+      & info [ "nemesis" ] ~docv:"PLAN"
+          ~doc:"Fault plan this worker should inject on itself (see $(b,abc fuzz --nemesis)).")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Shard worker (normally spawned by $(b,--shards), not by hand): \
+          speaks the length-prefixed CRC'd frame protocol on stdin/stdout — \
+          spec, unit requests and heartbeats in, unit results out.")
+    Term.(const run $ id $ nemesis)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  (* re-executed as a shard worker?  enter the loop, never return *)
+  Dist.Worker.maybe_run ();
   let doc = "laboratory for the Asynchronous Bounded-Cycle model reproduction" in
   let info = Cmd.info "abc" ~version:"1.0.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ cmd_check; cmd_threshold; cmd_assign; cmd_simulate; cmd_consensus; cmd_detect; cmd_omega; cmd_fuzz; cmd_mc; cmd_trace ]))
+          [ cmd_check; cmd_threshold; cmd_assign; cmd_simulate; cmd_consensus; cmd_detect; cmd_omega; cmd_fuzz; cmd_mc; cmd_trace; cmd_worker ]))

@@ -1,0 +1,693 @@
+(** Fault-tolerant shard supervisor.
+
+    Owns the whole life of a sharded run: partition the spec into
+    {!Work.units}, spawn up to [shards] worker subprocesses (this very
+    binary, re-executed — see {!Worker.maybe_run}), dispatch units
+    lowest-id-first, validate every reply, retry what was lost, and
+    hand back the unit results {e in unit order} — at which point the
+    merge is the same pure function the serial path uses, so the
+    report is byte-identical to a serial run no matter the shard
+    count, worker deaths, or retry history.
+
+    Robustness mechanisms, in the order they fire:
+
+    - {e Heartbeat timeout}: a worker holding a unit that has been
+      silent longer than [heartbeat] seconds (monotonic clock — wall
+      steps cannot fake a stall) is SIGKILLed and its unit
+      re-dispatched.
+    - {e Crash / EOF}: a dead worker's unit goes back to pending with
+      {e bounded retry}: exponential backoff with deterministic
+      jitter, at most [max_attempts] dispatches per unit, then a hard
+      error naming the unit.
+    - {e Frame corruption}: a reply stream that breaks the {!Frame}
+      contract is unrecoverable; the worker is quarantined (killed)
+      and its unit re-dispatched.
+    - {e Result validation}: every reply's payload is re-checksummed
+      by the supervisor ({!Work.payload_checksum}).  A mismatch —
+      divergent computation or silent payload damage — quarantines
+      the sender and re-runs the shard; a {e second} divergence on
+      the same shard is a hard error naming the shard's replay line.
+      Duplicate replies (late retransmits, the dup nemesis) are
+      accepted iff checksum and digest agree with the recorded
+      result, else treated as divergence.
+    - {e Respawn budget}: replacement workers (fresh ids, so nemesis
+      faults do not re-fire) are spawned as long as the budget lasts;
+      when no worker can be spawned and none survive, the remaining
+      units run {e in-process} on a {!Pool} ({!Pool.map_all_errors},
+      so a multi-unit failure reports every failing unit).
+    - {e Write-ahead checkpoint}: with [checkpoint] set, each
+      accepted unit is appended (CRC'd, fsync'd) to a {!Checkpoint}
+      journal before counting as merged; [resume] reloads the valid
+      prefix and re-runs only what is missing, reproducing the
+      uninterrupted report exactly. *)
+
+exception Dist_error of string
+
+type config = {
+  cf_shards : int;
+  cf_heartbeat : float;  (** seconds of silence before a kill *)
+  cf_checkpoint : string option;
+  cf_resume : bool;  (** load [cf_checkpoint] before running *)
+  cf_nemesis : Nemesis.t;
+  cf_worker_exe : string option;  (** default [Sys.executable_name] *)
+  cf_max_attempts : int;
+  cf_respawn_budget : int;
+}
+
+let make_config ?(heartbeat = 30.0) ?checkpoint ?(resume = false)
+    ?(nemesis = Nemesis.none) ?worker_exe ?max_attempts ?respawn_budget
+    ~shards () : config =
+  if shards < 1 then invalid_arg "Dist: shards must be >= 1";
+  if resume && checkpoint = None then
+    invalid_arg "Dist: resume needs a checkpoint file";
+  {
+    cf_shards = shards;
+    cf_heartbeat = (if heartbeat > 0.0 then heartbeat else 30.0);
+    cf_checkpoint = checkpoint;
+    cf_resume = resume;
+    cf_nemesis = nemesis;
+    cf_worker_exe = worker_exe;
+    cf_max_attempts = (match max_attempts with Some m -> max 1 m | None -> 5);
+    cf_respawn_budget =
+      (match respawn_budget with Some b -> max 0 b | None -> 2 * shards);
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type wrk = {
+  w_id : int;
+  w_pid : int;
+  w_stdin : Unix.file_descr;  (** supervisor writes requests here *)
+  w_stdout : Unix.file_descr;  (** supervisor reads replies here *)
+  w_parser : Frame.parser;
+  mutable w_unit : int;  (** assigned unit id, [-1] when idle *)
+  mutable w_last : float;  (** {!Mclock.now} of the last frame *)
+  mutable w_dead : bool;
+}
+
+type ustate = Pending | Running of int (* worker id *) | Completed
+
+type ust = {
+  u_id : int;
+  u_lo : int;
+  u_hi : int;
+  mutable u_state : ustate;
+  mutable u_attempts : int;
+  mutable u_not_before : float;  (** backoff gate, {!Mclock.now} scale *)
+  mutable u_blob : Work.blob option;
+  mutable u_divergences : int;
+}
+
+(* Deterministic jitter in [-0.25, +0.25), a splitmix64 finalizer of
+   (unit, attempt): retries of the same unit spread out, identically
+   on every run of the same history. *)
+let jitter ~unit_id ~attempt =
+  let open Int64 in
+  let z = add (of_int ((unit_id * 1_000_003) + attempt)) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  let frac = to_float (logand z 0xFFFFFFL) /. 16_777_216.0 in
+  (frac -. 0.5) /. 2.0
+
+let backoff_base = 0.05
+let backoff_cap = 2.0
+
+let backoff ~unit_id ~attempt =
+  let exp = backoff_base *. (2.0 ** float_of_int (max 0 (attempt - 1))) in
+  let d = min backoff_cap exp in
+  d *. (1.0 +. jitter ~unit_id ~attempt)
+
+let obs name args = if Obs.on () then Obs.instant "dist" name args
+
+let say fmt = Printf.ksprintf (fun s -> Printf.eprintf "dist: %s\n%!" s) fmt
+
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  cfg : config;
+  spec : Work.spec;
+  spec_bytes : string;  (** marshaled once, sent to every worker *)
+  units : ust array;
+  mutable workers : wrk list;  (** live or not-yet-reaped *)
+  mutable next_worker_id : int;
+  mutable respawns_left : int;
+  mutable merged : int;  (** units accepted this run (resume excluded) *)
+  mutable journal : Checkpoint.t option;
+  mutable quiet : bool;  (** suppress per-event stderr chatter *)
+}
+
+let pending_count st =
+  Array.fold_left
+    (fun n u -> match u.u_state with Completed -> n | _ -> n + 1)
+    0 st.units
+
+let live_workers st = List.filter (fun w -> not w.w_dead) st.workers
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let kill_quiet pid =
+  try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let reap_quiet pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+(* Put a worker's unit (if any) back on the queue with backoff. *)
+let requeue st (w : wrk) ~why =
+  if w.w_unit >= 0 then begin
+    let u = st.units.(w.w_unit) in
+    (match u.u_state with
+    | Running wid when wid = w.w_id ->
+        u.u_state <- Pending;
+        u.u_not_before <-
+          Mclock.now () +. backoff ~unit_id:u.u_id ~attempt:u.u_attempts;
+        if not st.quiet then
+          say "unit %d requeued (%s, worker %d, attempt %d)" u.u_id why w.w_id
+            u.u_attempts;
+        obs "requeue"
+          [ ("unit", Obs.I u.u_id); ("worker", Obs.I w.w_id); ("why", Obs.S why) ]
+    | _ -> ());
+    w.w_unit <- -1
+  end
+
+let mark_dead st (w : wrk) ~why =
+  if not w.w_dead then begin
+    w.w_dead <- true;
+    requeue st w ~why;
+    close_quiet w.w_stdin;
+    close_quiet w.w_stdout
+  end
+
+let quarantine st (w : wrk) ~why =
+  if not w.w_dead then begin
+    if not st.quiet then say "worker %d quarantined: %s" w.w_id why;
+    obs "quarantine" [ ("worker", Obs.I w.w_id); ("why", Obs.S why) ];
+    kill_quiet w.w_pid;
+    mark_dead st w ~why
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Spawning and dispatch *)
+
+let spawn st =
+  let exe =
+    match st.cfg.cf_worker_exe with
+    | Some e -> e
+    | None -> Sys.executable_name
+  in
+  let id = st.next_worker_id in
+  st.next_worker_id <- id + 1;
+  let child_stdin, sup_write = Unix.pipe ~cloexec:true () in
+  let sup_read, child_stdout = Unix.pipe ~cloexec:true () in
+  let env =
+    Array.append (Unix.environment ())
+      [| Worker.env_binding ~id ~nemesis:st.cfg.cf_nemesis |]
+  in
+  match
+    Unix.create_process_env exe [| exe |] env child_stdin child_stdout
+      Unix.stderr
+  with
+  | exception e ->
+      close_quiet child_stdin;
+      close_quiet sup_write;
+      close_quiet sup_read;
+      close_quiet child_stdout;
+      say "spawn failed: %s" (Printexc.to_string e);
+      None
+  | pid ->
+      close_quiet child_stdin;
+      close_quiet child_stdout;
+      let w =
+        {
+          w_id = id;
+          w_pid = pid;
+          w_stdin = sup_write;
+          w_stdout = sup_read;
+          w_parser = Frame.parser_create ~await_hello:true ();
+          w_unit = -1;
+          w_last = Mclock.now ();
+          w_dead = false;
+        }
+      in
+      (* the spec goes down immediately; a worker that dies before
+         reading it shows up as EOF like any other death *)
+      (match Frame.write w.w_stdin (Frame.M_spec st.spec_bytes) with
+      | () -> ()
+      | exception _ -> mark_dead st w ~why:"spec write failed");
+      obs "spawn" [ ("worker", Obs.I id); ("pid", Obs.I pid) ];
+      st.workers <- w :: st.workers;
+      Some w
+
+(* Record an accepted unit result: store, checkpoint (fsync'd), count
+   it merged, and let the supervisor nemesis strike. *)
+let accept st (u : ust) (blob : Work.blob) =
+  u.u_blob <- Some blob;
+  u.u_state <- Completed;
+  (match st.journal with
+  | Some j -> Checkpoint.append j ~unit_id:u.u_id ~blob:(Work.encode_blob blob)
+  | None -> ());
+  st.merged <- st.merged + 1;
+  obs "accept" [ ("unit", Obs.I u.u_id) ];
+  match st.cfg.cf_nemesis.Nemesis.supervisor_kill with
+  | Some s when st.merged = s ->
+      (* the checkpoint record for this unit is already on disk:
+         exactly the state a kill -9 here would leave *)
+      say "nemesis: supervisor killed after %d merged units" s;
+      raise (Nemesis.Supervisor_killed s)
+  | _ -> ()
+
+let divergence st (u : ust) ~(sender : wrk option) ~what =
+  u.u_divergences <- u.u_divergences + 1;
+  obs "divergence" [ ("unit", Obs.I u.u_id); ("n", Obs.I u.u_divergences) ];
+  (match sender with
+  | Some w -> quarantine st w ~why:("divergent result: " ^ what)
+  | None -> ());
+  if u.u_divergences >= 2 then
+    raise
+      (Dist_error
+         (Printf.sprintf
+            "shard %d (items %d..%d) produced divergent results twice — \
+             refusing to pick a winner; replay it directly: %s"
+            u.u_id u.u_lo (u.u_hi - 1)
+            (Work.shard_repro st.spec ~lo:u.u_lo)))
+  else begin
+    (* arbitration: discard what we had (if anything) and re-run *)
+    u.u_blob <- None;
+    u.u_state <- Pending;
+    u.u_not_before <- Mclock.now () +. backoff ~unit_id:u.u_id ~attempt:u.u_attempts;
+    say "unit %d: divergent result, re-running to arbitrate" u.u_id
+  end
+
+(* Digest agreement between two executions of the same unit: both
+   non-empty and different = real divergence; an empty side (Obs
+   capture off, e.g. in-process fallback) abstains. *)
+let digests_disagree a b = a <> "" && b <> "" && a <> b
+
+let handle_result st (w : wrk) ~unit_id ~(blob_bytes : string) =
+  if unit_id < 0 || unit_id >= Array.length st.units then
+    quarantine st w ~why:(Printf.sprintf "reply for unknown unit %d" unit_id)
+  else
+    let u = st.units.(unit_id) in
+    match Work.decode_blob blob_bytes with
+    | Error e -> quarantine st w ~why:e
+    | Ok blob -> (
+        let valid =
+          blob.Work.b_unit = unit_id
+          &&
+          match Work.payload_checksum st.spec blob.Work.b_payload with
+          | Ok c -> c = blob.Work.b_checksum
+          | Error _ -> false
+        in
+        match u.u_state with
+        | Completed -> (
+            (* duplicate (late retransmit or dup nemesis) *)
+            match u.u_blob with
+            | Some prev
+              when valid
+                   && prev.Work.b_checksum = blob.Work.b_checksum
+                   && not
+                        (digests_disagree prev.Work.b_digest blob.Work.b_digest)
+              ->
+                obs "duplicate" [ ("unit", Obs.I unit_id) ];
+                if w.w_unit = unit_id then w.w_unit <- -1
+            | _ -> divergence st u ~sender:(Some w) ~what:"duplicate disagrees")
+        | Pending | Running _ ->
+            if w.w_unit = unit_id then w.w_unit <- -1;
+            if not valid then divergence st u ~sender:(Some w) ~what:"checksum mismatch"
+            else begin
+              (match u.u_blob with
+              | Some prev
+                when prev.Work.b_checksum <> blob.Work.b_checksum
+                     || digests_disagree prev.Work.b_digest blob.Work.b_digest
+                ->
+                  (* an arbitration re-run disagreeing with a ghost of a
+                     previous divergence round: count it *)
+                  divergence st u ~sender:None ~what:"arbitration disagrees"
+              | _ -> ());
+              if u.u_state <> Completed then accept st u blob
+            end)
+
+let handle_msg st (w : wrk) (m : Frame.msg) =
+  w.w_last <- Mclock.now ();
+  match m with
+  | Frame.M_heartbeat -> ()
+  | Frame.M_done { unit_id; blob } -> handle_result st w ~unit_id ~blob_bytes:blob
+  | Frame.M_error { unit_id; message } ->
+      say "worker %d: unit %d raised: %s" w.w_id unit_id message;
+      obs "worker-error" [ ("unit", Obs.I unit_id); ("worker", Obs.I w.w_id) ];
+      if w.w_unit = unit_id then w.w_unit <- -1;
+      if unit_id >= 0 && unit_id < Array.length st.units then begin
+        let u = st.units.(unit_id) in
+        match u.u_state with
+        | Running wid when wid = w.w_id ->
+            if u.u_attempts >= st.cfg.cf_max_attempts then
+              raise
+                (Dist_error
+                   (Printf.sprintf
+                      "unit %d failed %d times, last error: %s — replay: %s"
+                      unit_id u.u_attempts message
+                      (Work.shard_repro st.spec ~lo:u.u_lo)))
+            else begin
+              u.u_state <- Pending;
+              u.u_not_before <-
+                Mclock.now () +. backoff ~unit_id ~attempt:u.u_attempts
+            end
+        | _ -> ()
+      end
+  | Frame.M_spec _ | Frame.M_request _ | Frame.M_quit ->
+      quarantine st w ~why:"protocol violation (supervisor-only frame)"
+
+(* ------------------------------------------------------------------ *)
+(* The main loop *)
+
+let reap st =
+  List.iter
+    (fun w ->
+      if not w.w_dead then
+        match Unix.waitpid [ WNOHANG ] w.w_pid with
+        | 0, _ -> ()
+        | _, _ -> mark_dead st w ~why:"worker exited"
+        | exception Unix.Unix_error _ -> mark_dead st w ~why:"worker unreachable")
+    st.workers
+
+let dispatch st =
+  let now = Mclock.now () in
+  let idle =
+    List.filter (fun w -> (not w.w_dead) && w.w_unit = -1) (live_workers st)
+  in
+  List.iter
+    (fun w ->
+      if w.w_unit = -1 then
+        let ready =
+          Array.to_seq st.units
+          |> Seq.filter (fun u ->
+                 u.u_state = Pending
+                 && u.u_not_before <= now
+                 && u.u_attempts < st.cfg.cf_max_attempts)
+          |> Seq.fold_left
+               (fun best u ->
+                 match best with
+                 | Some b when b.u_id <= u.u_id -> best
+                 | _ -> Some u)
+               None
+        in
+        match ready with
+        | None -> ()
+        | Some u -> (
+            match
+              Frame.write w.w_stdin
+                (Frame.M_request { unit_id = u.u_id; lo = u.u_lo; hi = u.u_hi })
+            with
+            | () ->
+                u.u_state <- Running w.w_id;
+                u.u_attempts <- u.u_attempts + 1;
+                w.w_unit <- u.u_id;
+                w.w_last <- now;
+                obs "dispatch"
+                  [ ("unit", Obs.I u.u_id); ("worker", Obs.I w.w_id) ]
+            | exception _ -> mark_dead st w ~why:"request write failed"))
+    idle
+
+(* A pending unit that has exhausted its dispatch budget is a hard
+   error — checked centrally so timeouts and deaths hit it too. *)
+let check_attempts st =
+  Array.iter
+    (fun u ->
+      if
+        u.u_state = Pending
+        && u.u_attempts >= st.cfg.cf_max_attempts
+        && u.u_blob = None
+      then
+        raise
+          (Dist_error
+             (Printf.sprintf
+                "unit %d (items %d..%d) lost after %d dispatch attempts — \
+                 replay: %s"
+                u.u_id u.u_lo (u.u_hi - 1) u.u_attempts
+                (Work.shard_repro st.spec ~lo:u.u_lo))))
+    st.units
+
+let read_ready st fds =
+  List.iter
+    (fun fd ->
+      match List.find_opt (fun w -> (not w.w_dead) && w.w_stdout = fd) st.workers with
+      | None -> ()
+      | Some w -> (
+          let buf = Bytes.create 65536 in
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | exception Unix.Unix_error (EINTR, _, _) -> ()
+          | exception Unix.Unix_error _ -> mark_dead st w ~why:"read error"
+          | 0 -> mark_dead st w ~why:"eof"
+          | n -> (
+              Frame.feed w.w_parser buf n;
+              let rec drain () =
+                if not w.w_dead then
+                  match Frame.next w.w_parser with
+                  | Ok None -> ()
+                  | Ok (Some m) ->
+                      handle_msg st w m;
+                      drain ()
+                  | Error e -> quarantine st w ~why:("corrupt stream: " ^ e)
+              in
+              drain ())))
+    fds
+
+let check_heartbeats st =
+  let now = Mclock.now () in
+  List.iter
+    (fun w ->
+      if (not w.w_dead) && w.w_unit >= 0 && now -. w.w_last > st.cfg.cf_heartbeat
+      then begin
+        say "worker %d silent for %.1fs on unit %d: killing" w.w_id
+          (now -. w.w_last) w.w_unit;
+        obs "stall-kill" [ ("worker", Obs.I w.w_id); ("unit", Obs.I w.w_unit) ];
+        quarantine st w ~why:"heartbeat timeout"
+      end)
+    st.workers
+
+(* In-process fallback: no worker can be spawned (or survive), so run
+   what remains on a Pool right here.  map_all_errors so one failing
+   unit does not mask the others in the diagnostic. *)
+let fallback st =
+  let remaining =
+    Array.to_list st.units
+    |> List.filter (fun u -> u.u_state <> Completed)
+  in
+  if remaining <> [] then begin
+    say "no workers available: degrading to in-process execution of %d units"
+      (List.length remaining);
+    obs "fallback" [ ("units", Obs.I (List.length remaining)) ];
+    let arr = Array.of_list remaining in
+    let results =
+      Pool.map_all_errors ~jobs:st.cfg.cf_shards ~chunk:1 (Array.length arr)
+        (fun k ->
+          let u = arr.(k) in
+          Work.exec_unit st.spec ~unit_id:u.u_id ~lo:u.u_lo ~hi:u.u_hi
+            ~capture:false)
+    in
+    let failed = ref [] in
+    Array.iteri
+      (fun k r ->
+        match r with
+        | Ok blob -> accept st arr.(k) blob
+        | Error e ->
+            failed := (arr.(k).u_id, Printexc.to_string e) :: !failed)
+      results;
+    match List.rev !failed with
+    | [] -> ()
+    | fs ->
+        raise
+          (Dist_error
+             (Printf.sprintf "in-process fallback failed on %d unit(s): %s"
+                (List.length fs)
+                (String.concat "; "
+                   (List.map (fun (u, e) -> Printf.sprintf "unit %d: %s" u e) fs))))
+  end
+
+let terminate st =
+  List.iter
+    (fun w ->
+      if not w.w_dead then begin
+        (try Frame.write w.w_stdin Frame.M_quit with _ -> ());
+        close_quiet w.w_stdin;
+        close_quiet w.w_stdout;
+        kill_quiet w.w_pid;
+        w.w_dead <- true
+      end)
+    st.workers;
+  List.iter (fun w -> reap_quiet w.w_pid) st.workers;
+  st.workers <- [];
+  match st.journal with
+  | Some j ->
+      Checkpoint.close j;
+      st.journal <- None
+  | None -> ()
+
+(** Run the spec to completion and return the unit results in unit
+    order.  @raise Dist_error on unrecoverable loss or divergence;
+    @raise Nemesis.Supervisor_killed when the nemesis says so. *)
+let run_units ?(quiet = false) (cfg : config) (spec : Work.spec) : Work.blob array =
+  let units =
+    Array.mapi
+      (fun i (lo, hi) ->
+        {
+          u_id = i;
+          u_lo = lo;
+          u_hi = hi;
+          u_state = Pending;
+          u_attempts = 0;
+          u_not_before = 0.0;
+          u_blob = None;
+          u_divergences = 0;
+        })
+      (Work.units spec)
+  in
+  let fp = Work.fingerprint spec in
+  let st =
+    {
+      cfg;
+      spec;
+      spec_bytes = Marshal.to_string spec [];
+      units;
+      workers = [];
+      next_worker_id = 0;
+      respawns_left = cfg.cf_respawn_budget;
+      merged = 0;
+      journal = None;
+      quiet;
+    }
+  in
+  (* resume: adopt every valid checkpointed unit, last record wins *)
+  (match (cfg.cf_resume, cfg.cf_checkpoint) with
+  | true, Some path -> (
+      match Checkpoint.load ~path ~fingerprint:fp with
+      | Error e -> raise (Dist_error e)
+      | Ok records ->
+          let recovered = ref 0 in
+          List.iter
+            (fun (uid, blob_bytes) ->
+              if uid >= 0 && uid < Array.length st.units then
+                match Work.decode_blob blob_bytes with
+                | Error _ -> ()
+                | Ok blob -> (
+                    match Work.payload_checksum spec blob.Work.b_payload with
+                    | Ok c when c = blob.Work.b_checksum ->
+                        let u = st.units.(uid) in
+                        if u.u_state <> Completed then incr recovered;
+                        u.u_blob <- Some blob;
+                        u.u_state <- Completed
+                    | _ -> ()))
+            records;
+          say "resumed %d/%d units from %s" !recovered (Array.length st.units)
+            path;
+          obs "resume" [ ("units", Obs.I !recovered) ])
+  | _ -> ());
+  (* open (or create) the journal for what this run will add *)
+  (match cfg.cf_checkpoint with
+  | Some path ->
+      st.journal <-
+        Some
+          (if cfg.cf_resume then Checkpoint.reopen ~path
+           else Checkpoint.create ~path ~fingerprint:fp)
+  | None -> ());
+  let saved_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      terminate st;
+      match saved_sigpipe with
+      | Some h -> ( try Sys.set_signal Sys.sigpipe h with _ -> ())
+      | None -> ())
+    (fun () ->
+      let out_of_workers () =
+        live_workers st = [] && st.respawns_left <= 0
+      in
+      while pending_count st > 0 && not (out_of_workers ()) do
+        reap st;
+        (* keep the bench full: one live worker per outstanding unit,
+           capped at the shard count and the respawn budget *)
+        let want = min st.cfg.cf_shards (pending_count st) in
+        let spawned_any = ref true in
+        while
+          !spawned_any
+          && List.length (live_workers st) < want
+          && st.respawns_left > 0
+        do
+          st.respawns_left <- st.respawns_left - 1;
+          spawned_any := spawn st <> None
+        done;
+        check_attempts st;
+        dispatch st;
+        let fds = List.map (fun w -> w.w_stdout) (live_workers st) in
+        (if fds = [] then Unix.sleepf 0.01
+         else
+           match Unix.select fds [] [] 0.05 with
+           | readable, _, _ -> read_ready st readable
+           | exception Unix.Unix_error (EINTR, _, _) -> ());
+        check_heartbeats st;
+        if Sys.getenv_opt "ABC_DIST_DEBUG" <> None then
+          say "loop: pending=%d live=%d units=[%s] workers=[%s]"
+            (pending_count st)
+            (List.length (live_workers st))
+            (String.concat ";"
+               (Array.to_list
+                  (Array.map
+                     (fun u ->
+                       Printf.sprintf "%d:%s:a%d" u.u_id
+                         (match u.u_state with
+                         | Pending -> "P"
+                         | Running w -> "R" ^ string_of_int w
+                         | Completed -> "C")
+                         u.u_attempts)
+                     st.units)))
+            (String.concat ";"
+               (List.map
+                  (fun w ->
+                    Printf.sprintf "%d:%s:u%d" w.w_id
+                      (if w.w_dead then "dead" else "live")
+                      w.w_unit)
+                  st.workers))
+      done;
+      (* anything left means every transport died: degrade gracefully *)
+      fallback st;
+      Array.map
+        (fun u ->
+          match u.u_blob with
+          | Some b -> b
+          | None -> raise (Dist_error (Printf.sprintf "unit %d has no result" u.u_id)))
+        st.units)
+
+(* ------------------------------------------------------------------ *)
+(* Front doors *)
+
+let run_fuzz ?quiet (cfg : config) ~seed ~cases ~boundary ~shrink ~oracles () :
+    Fuzz.Campaign.outcome =
+  let spec =
+    Work.W_fuzz
+      {
+        wf_seed = seed;
+        wf_cases = cases;
+        wf_boundary = boundary;
+        wf_shrink = shrink;
+        wf_oracles = oracles;
+      }
+  in
+  let t0 = Mclock.now () in
+  let blobs = run_units ?quiet cfg spec in
+  Work.merge_fuzz spec ~cost_wall:(Mclock.now () -. t0) ~shards:cfg.cf_shards
+    (Array.map (fun b -> b.Work.b_payload) blobs)
+
+let run_mc ?quiet (cfg : config) ~dpor ~incremental ~tt ~frontier
+    (case : Fuzz.Gen.case) : Mc.Driver.outcome =
+  let spec =
+    Work.W_mc
+      {
+        wm_line = Fuzz.Replay.to_string case;
+        wm_dpor = dpor;
+        wm_incremental = incremental;
+        wm_tt = tt;
+        wm_frontier = frontier;
+      }
+  in
+  let blobs = run_units ?quiet cfg spec in
+  Work.merge_mc spec (Array.map (fun b -> b.Work.b_payload) blobs)

@@ -1,0 +1,186 @@
+(** Shard worker: the child end of the [abc worker] protocol.
+
+    A worker reads {!Frame} messages from stdin — first a [M_spec]
+    describing the campaign, then [M_request]s naming unit ranges —
+    executes each unit with {!Work.exec_unit} (Obs capture on, so the
+    reply carries the per-shard trace digest) and writes [M_done]
+    replies to stdout.  A background domain emits [M_heartbeat]
+    frames every {!heartbeat_interval} seconds so the supervisor can
+    tell "computing a long unit" from "stalled": the beat keeps going
+    {e during} computation, and the stall nemesis silences it.
+
+    Workers are spawned not as a separate binary but as {e this}
+    binary re-executed with [ABC_DIST_WORKER] in the environment:
+    {!maybe_run} at the top of an entry point turns any host
+    executable (the CLI, the test runner, the bench harness) into its
+    own worker, which is what lets the supervisor default to
+    [Sys.executable_name] and keeps the protocol version trivially in
+    lockstep with the spawner.  The documented CLI spelling
+    [abc worker --id N] enters the same loop.
+
+    Every nemesis fault a worker can inject ({!Nemesis.fault}) lives
+    here, keyed on (worker id, per-worker unit ordinal) — fully
+    deterministic, no clocks involved. *)
+
+let heartbeat_interval = 0.25
+
+let env_var = "ABC_DIST_WORKER"
+
+(* Frame writes come from two domains (the main loop and the
+   heartbeat domain), so they are serialized by one mutex — a torn
+   frame would poison the whole stream. *)
+type io = { lock : Mutex.t; fd : Unix.file_descr }
+
+let send io m =
+  Mutex.lock io.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock io.lock)
+    (fun () -> Frame.write io.fd m)
+
+let kill_self () = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+let run ~id ~(nemesis : Nemesis.t) : 'a =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* stdout IS the frame channel: claim the fd, then repoint fd 1 at
+     stderr so a stray print from the host binary (a test-harness
+     banner, a debug printf in an oracle) cannot tear a frame.
+     Whatever the host had buffered on the stdout channel flushes to
+     stderr after the repoint instead of landing between frames. *)
+  let frame_fd = Unix.dup Unix.stdout in
+  Unix.dup2 Unix.stderr Unix.stdout;
+  (* handshake before anything else: the supervisor discards whatever
+     the host binary printed before we claimed the fd, up to this
+     marker, and is strict from here on *)
+  Frame.write_all frame_fd Frame.hello 0 (String.length Frame.hello);
+  let io = { lock = Mutex.create (); fd = frame_fd } in
+  let alive = Atomic.make true in
+  let beating = Atomic.make true in
+  let hb =
+    Domain.spawn (fun () ->
+        while Atomic.get alive do
+          Unix.sleepf heartbeat_interval;
+          if Atomic.get alive && Atomic.get beating then
+            try send io Frame.M_heartbeat with _ -> Atomic.set alive false
+        done)
+  in
+  let spec : Work.spec option ref = ref None in
+  let ordinal = ref 0 in
+  let quit code =
+    Atomic.set alive false;
+    (try Domain.join hb with _ -> ());
+    exit code
+  in
+  let rec loop () =
+    match Frame.read_blocking Unix.stdin with
+    | Error _ -> quit 0 (* supervisor gone or stream corrupt: nothing to do *)
+    | Ok (Frame.M_spec s) ->
+        (match (Marshal.from_string s 0 : Work.spec) with
+        | sp -> spec := Some sp
+        | exception _ -> quit 1);
+        loop ()
+    | Ok Frame.M_quit -> quit 0
+    | Ok (Frame.M_heartbeat | Frame.M_done _ | Frame.M_error _) ->
+        (* supervisor never sends these; treat as corruption *)
+        quit 1
+    | Ok (Frame.M_request { unit_id; lo; hi }) -> (
+        incr ordinal;
+        match !spec with
+        | None -> quit 1 (* request before spec: protocol violation *)
+        | Some sp -> (
+            match Nemesis.fault_for nemesis ~worker:id ~ordinal:!ordinal with
+            | Some Nemesis.Stall ->
+                (* alive but silent, holding the shard: the heartbeat
+                   timeout is the only way the supervisor gets it back *)
+                Atomic.set beating false;
+                while true do
+                  Unix.sleepf 3600.0
+                done;
+                assert false
+            | Some Nemesis.Trunc ->
+                Frame.write_truncated io.fd;
+                kill_self ();
+                assert false
+            | Some Nemesis.Corrupt ->
+                (* a well-framed-looking reply whose CRC cannot match:
+                   the supervisor must abandon this stream *)
+                Frame.write_garbage io.fd;
+                loop ()
+            | fault -> (
+                match Work.exec_unit sp ~unit_id ~lo ~hi ~capture:true with
+                | exception e ->
+                    send io
+                      (Frame.M_error
+                         { unit_id; message = Printexc.to_string e });
+                    loop ()
+                | blob ->
+                    let blob =
+                      match fault with
+                      | Some Nemesis.Flip ->
+                          (* divergent shard: framing and marshaling are
+                             intact, the verdict checksum is not *)
+                          {
+                            blob with
+                            Work.b_checksum =
+                              Digest.to_hex (Digest.string "divergent");
+                          }
+                      | _ -> blob
+                    in
+                    let reply =
+                      Frame.M_done
+                        { unit_id; blob = Work.encode_blob blob }
+                    in
+                    send io reply;
+                    (match fault with
+                    | Some Nemesis.Dup -> send io reply (* the late duplicate *)
+                    | Some Nemesis.Kill -> kill_self () (* at the shard boundary *)
+                    | _ -> ());
+                    loop ())))
+  in
+  loop ()
+
+(* "id=3;nem=kill:3@1" *)
+let parse_env (s : string) : (int * Nemesis.t, string) result =
+  let fields =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let find k =
+    List.find_map
+      (fun f ->
+        match String.index_opt f '=' with
+        | Some i when String.sub f 0 i = k ->
+            Some (String.sub f (i + 1) (String.length f - i - 1))
+        | _ -> None)
+      fields
+  in
+  match find "id" with
+  | None -> Error (env_var ^ ": missing id=")
+  | Some id -> (
+      match int_of_string_opt id with
+      | None -> Error (env_var ^ ": bad id")
+      | Some id -> (
+          match find "nem" with
+          | None | Some "" -> Ok (id, Nemesis.none)
+          | Some nem -> (
+              match Nemesis.parse nem with
+              | Ok n -> Ok (id, n)
+              | Error e -> Error (env_var ^ ": " ^ e))))
+
+(** Call first thing in any binary that may serve as a worker: if
+    [ABC_DIST_WORKER] is set, enter the worker loop and never return.
+    A no-op otherwise. *)
+let maybe_run () =
+  match Sys.getenv_opt env_var with
+  | None -> ()
+  | Some s -> (
+      match parse_env s with
+      | Ok (id, nemesis) -> run ~id ~nemesis
+      | Error e ->
+          prerr_endline ("worker: " ^ e);
+          exit 2)
+
+(** The environment binding the supervisor sets when spawning. *)
+let env_binding ~id ~(nemesis : Nemesis.t) =
+  let nem = Nemesis.worker_spec nemesis ~worker:id in
+  if nem = "" then Printf.sprintf "%s=id=%d" env_var id
+  else Printf.sprintf "%s=id=%d;nem=%s" env_var id nem

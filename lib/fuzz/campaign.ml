@@ -117,7 +117,7 @@ let eval_case ~oracles ~shrink ~boundary ~seed i =
   { ce_case = case; ce_results = results; ce_failures = failures }
 
 (* Fold the per-case evaluations, in index order, into the outcome. *)
-let merge ~oracles ~seed ~cases ~boundary ~cost (evals : case_eval array) =
+let merge_evals ~oracles ~seed ~cases ~boundary ~cost (evals : case_eval array) =
   let stats =
     ref
       (List.map
@@ -214,4 +214,4 @@ let run ?(oracles = Oracle.registry) ?(shrink = true) ?(boundary = false)
       ct_case_alloc = case_alloc;
     }
   in
-  merge ~oracles ~seed ~cases ~boundary ~cost evals
+  merge_evals ~oracles ~seed ~cases ~boundary ~cost evals

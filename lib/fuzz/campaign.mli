@@ -47,6 +47,43 @@ val case_seed : seed:int -> int -> int
     of [(seed, index)], so cases can be generated and evaluated in any
     order on any worker. *)
 
+(** Everything one case contributes to the outcome: the generated
+    case, every oracle's verdict, and the (possibly shrunk) failures.
+    Plain data — a distributed runner marshals these across a process
+    boundary and merges them with {!merge_evals} exactly as the
+    in-process pool path does. *)
+type case_eval = {
+  ce_case : Gen.case;
+  ce_results : (string * Oracle.outcome) list;
+  ce_failures : failure list;
+}
+
+val eval_case :
+  oracles:Oracle.t list ->
+  shrink:bool ->
+  boundary:bool ->
+  seed:int ->
+  int ->
+  case_eval
+(** Evaluate case [i] of the campaign [(seed, …)]: generate it from
+    {!case_seed}, run the oracles, shrink any failures.  A pure
+    function of its arguments (events are emitted under Obs scope [i],
+    so trace digests stay placement-invariant).  This is the unit of
+    work a remote shard executes. *)
+
+val merge_evals :
+  oracles:Oracle.t list ->
+  seed:int ->
+  cases:int ->
+  boundary:bool ->
+  cost:cost ->
+  case_eval array ->
+  outcome
+(** Fold per-case evaluations — which must be in case-index order —
+    into an {!outcome}.  [run] is [eval_case] + [merge_evals]; a
+    sharded campaign that evaluates the same index range and merges in
+    the same order produces the same outcome modulo [cost]. *)
+
 val run :
   ?oracles:Oracle.t list ->
   ?shrink:bool ->

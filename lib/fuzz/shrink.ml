@@ -128,13 +128,29 @@ type result = {
 
 (** [shrink ~oracles ~oracle c] greedily minimizes [c] while oracle
     [oracle] keeps failing.  At most [max_evals] candidate executions
-    (default 80) are spent. *)
-let shrink ?(max_evals = 80) ~oracles ~oracle (c0 : Gen.case) : result =
+    (default 80) are spent.
+
+    When the case carries an explicit schedule, the prefix-preserving
+    candidates (smaller event budgets) are evaluated through one
+    recording session ({!Sched_walk}): undo to the divergence point
+    and re-deliver the suffix, instead of re-simulating from scratch.
+    Verdicts are identical; [session_reuse:false] forces the
+    stateless path (the qcheck equivalence property runs both). *)
+let shrink ?(max_evals = 80) ?(session_reuse = true) ~oracles ~oracle
+    (c0 : Gen.case) : result =
+  let walker =
+    if session_reuse && c0.Gen.c_schedule <> [] then Some (Sched_walk.create c0)
+    else None
+  in
   let evals = ref 0 in
   let still_fails c =
     incr evals;
     if Obs.on () then Obs.instant "fuzz" "shrink-eval" [ ("n", Obs.I !evals) ];
-    match Oracle.evaluate oracles c with
+    match
+      match walker with
+      | Some w when Sched_walk.compatible w c -> Sched_walk.evaluate w ~oracles c
+      | _ -> Oracle.evaluate oracles c
+    with
     | results ->
         List.exists
           (fun (name, o) ->

@@ -13,7 +13,16 @@ type result = {
 }
 
 val shrink :
-  ?max_evals:int -> oracles:Oracle.t list -> oracle:string -> Gen.case -> result
+  ?max_evals:int ->
+  ?session_reuse:bool ->
+  oracles:Oracle.t list ->
+  oracle:string ->
+  Gen.case ->
+  result
 (** Greedy descent: keep the first candidate on which oracle [oracle]
     still fails; stop at a local minimum or after [max_evals]
-    (default 80) candidate runs. *)
+    (default 80) candidate runs.  On a schedule-bearing case the
+    prefix-preserving candidates replay through one recording session
+    ({!Sched_walk}) instead of from scratch; [session_reuse:false]
+    (default [true]) forces the stateless path.  The shrunk result is
+    identical either way. *)

@@ -13,6 +13,13 @@
     final class list is sorted by canonical key.  Byte-determinism of
     the report then follows for any [--jobs].
 
+    The phases are exposed separately ({!frontier_tasks},
+    {!explore_task}, {!merge_tasks}) because a distributed runner
+    executes them in different processes: every worker re-enumerates
+    the (cheap, deterministic) frontier locally, explores its assigned
+    task range, and ships the subtrees back for an in-order merge that
+    is byte-identical to {!run}.
+
     The price is duplicated work proportional to the naive blow-up of
     the frontier layer; depth 2 is the default and plenty for the tree
     widths this model produces. *)
@@ -40,9 +47,9 @@ type outcome = {
   mc_violations : violation list;
 }
 
-let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true)
-    ?(engine = Explore.Incremental) ?(tt = true) ?(frontier = 2) ?jobs
-    (case : Fuzz.Gen.case) : outcome =
+(* Reject cases the driver cannot model-check; shared by the local run
+   and the distributed worker (which must fail identically). *)
+let validate_case (case : Fuzz.Gen.case) =
   (match Fuzz.Gen.validate case with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Mc.Driver.run: " ^ e));
@@ -52,16 +59,25 @@ let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true)
     invalid_arg
       (Printf.sprintf "Mc.Driver.run: budget %d above the mc cap %d"
          case.Fuzz.Gen.c_max_events Schedule.max_budget);
-  (match case.Fuzz.Gen.c_sched with
+  match case.Fuzz.Gen.c_sched with
   | Fuzz.Gen.S_deferring _ ->
       invalid_arg
         "Mc.Driver.run: the deferring adversary picks its own delivery \
          order; model-check an async box instead"
-  | _ -> ());
-  let frontier = max 0 (min frontier case.Fuzz.Gen.c_max_events) in
-  (* naive expansion of the frontier layer, in lexicographic prefix
-     order; prefixes that hit a maximal execution early become tasks of
-     their own (the subtree explorer records them as terminals) *)
+  | _ -> ()
+
+let effective_frontier ~frontier (case : Fuzz.Gen.case) =
+  max 0 (min frontier case.Fuzz.Gen.c_max_events)
+
+(* Naive expansion of the frontier layer, in lexicographic prefix
+   order; prefixes that hit a maximal execution early become tasks of
+   their own (the subtree explorer records them as terminals).  A pure
+   function of (case, frontier): any process enumerating the same case
+   gets the same task array, which is what makes task indices stable
+   distributed work ids. *)
+let frontier_tasks ~frontier (case : Fuzz.Gen.case) : int list array =
+  validate_case case;
+  let frontier = effective_frontier ~frontier case in
   let tasks = ref [] in
   let rec enum prefix depth =
     if depth = frontier then tasks := prefix :: !tasks
@@ -78,44 +94,41 @@ let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true)
   (* scope 0: the (serial) frontier enumeration; scope 1+i: task i.
      Every scoped event stream is a pure function of the case, so the
      trace digest is jobs-invariant like the report itself. *)
-  let tasks =
-    Obs.with_scope 0 @@ fun () ->
-    enum [] 0;
-    let tasks = Array.of_list (List.rev !tasks) in
+  Obs.with_scope 0 @@ fun () ->
+  enum [] 0;
+  let tasks = Array.of_list (List.rev !tasks) in
+  if Obs.on () then
+    Obs.instant "mc" "frontier"
+      [ ("tasks", Obs.I (Array.length tasks)); ("depth", Obs.I frontier) ];
+  tasks
+
+let explore_task ~oracles ~dpor ~engine ~tt ~(case : Fuzz.Gen.case)
+    ~(tasks : int list array) i : Explore.subtree =
+  let sb =
+    Obs.with_scope (1 + i) @@ fun () ->
+    if Obs.on () then Obs.span_begin "mc" "task" [ ("i", Obs.I i) ];
+    let sb = Explore.explore ~engine ~tt ~oracles ~dpor ~case ~prefix:tasks.(i) in
     if Obs.on () then
-      Obs.instant "mc" "frontier"
-        [ ("tasks", Obs.I (Array.length tasks)); ("depth", Obs.I frontier) ];
-    tasks
-  in
-  let explore_task i =
-    let sb =
-      Obs.with_scope (1 + i) @@ fun () ->
-      if Obs.on () then Obs.span_begin "mc" "task" [ ("i", Obs.I i) ];
-      let sb = Explore.explore ~engine ~tt ~oracles ~dpor ~case ~prefix:tasks.(i) in
-      if Obs.on () then
-        Obs.span_end "mc" "task"
-          [ ("i", Obs.I i); ("execs", Obs.I sb.Explore.sb_execs) ];
-      sb
-    in
-    (* engine-dependent statistics are emitted {e ambient} (outside the
-       task scope, under their own category): they vary with the engine
-       by design, so they must stay out of the digest and of the
-       scoped stream the goldens pin *)
-    if Obs.on () then begin
-      Obs.counter "mce" "deliveries" [ ("task", Obs.I i) ] sb.Explore.sb_deliveries;
-      Obs.counter "mce" "undos" [ ("task", Obs.I i) ] sb.Explore.sb_undos;
-      Obs.counter "mce" "tt-hits" [ ("task", Obs.I i) ] sb.Explore.sb_tt_hits
-    end;
+      Obs.span_end "mc" "task"
+        [ ("i", Obs.I i); ("execs", Obs.I sb.Explore.sb_execs) ];
     sb
   in
-  let subtrees =
-    match jobs with
-    | Some j when j <= 1 -> Array.init (Array.length tasks) explore_task
-    | _ -> Pool.map ?jobs ~chunk:1 (Array.length tasks) explore_task
-  in
-  (* merge in task order (lexicographic prefixes) with first-seen class
-     dedup, then sort classes by key: both steps are independent of the
-     worker count *)
+  (* engine-dependent statistics are emitted {e ambient} (outside the
+     task scope, under their own category): they vary with the engine
+     by design, so they must stay out of the digest and of the
+     scoped stream the goldens pin *)
+  if Obs.on () then begin
+    Obs.counter "mce" "deliveries" [ ("task", Obs.I i) ] sb.Explore.sb_deliveries;
+    Obs.counter "mce" "undos" [ ("task", Obs.I i) ] sb.Explore.sb_undos;
+    Obs.counter "mce" "tt-hits" [ ("task", Obs.I i) ] sb.Explore.sb_tt_hits
+  end;
+  sb
+
+(* Merge in task order (lexicographic prefixes) with first-seen class
+   dedup, then sort classes by key: both steps are independent of the
+   worker count — and of which process explored which subtree. *)
+let merge_tasks ~oracles ~dpor ~engine ~frontier ~(case : Fuzz.Gen.case)
+    (subtrees : Explore.subtree array) : outcome =
   let execs = ref 0 in
   let sleep_blocked = ref 0 in
   let deliveries = ref 0 in
@@ -171,8 +184,8 @@ let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true)
     mc_case = case;
     mc_dpor = dpor;
     mc_engine = engine;
-    mc_frontier = frontier;
-    mc_tasks = Array.length tasks;
+    mc_frontier = effective_frontier ~frontier case;
+    mc_tasks = Array.length subtrees;
     mc_executions = !execs;
     mc_sleep_blocked = !sleep_blocked;
     mc_deliveries = !deliveries;
@@ -181,3 +194,15 @@ let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true)
     mc_classes = classes;
     mc_violations = violations;
   }
+
+let run ?(oracles = Fuzz.Oracle.registry) ?(dpor = true)
+    ?(engine = Explore.Incremental) ?(tt = true) ?(frontier = 2) ?jobs
+    (case : Fuzz.Gen.case) : outcome =
+  let tasks = frontier_tasks ~frontier case in
+  let explore i = explore_task ~oracles ~dpor ~engine ~tt ~case ~tasks i in
+  let subtrees =
+    match jobs with
+    | Some j when j <= 1 -> Array.init (Array.length tasks) explore
+    | _ -> Pool.map ?jobs ~chunk:1 (Array.length tasks) explore
+  in
+  merge_tasks ~oracles ~dpor ~engine ~frontier ~case subtrees

@@ -18,21 +18,34 @@ let remove i l = List.filteri (fun j _ -> j <> i) l
 
 let set i v l = List.mapi (fun j x -> if j = i then v else x) l
 
-let still_fails ~oracles ~oracle case =
+let still_fails ?walker ~oracles ~oracle case =
+  let results =
+    match walker with
+    | Some w when Fuzz.Sched_walk.compatible w case ->
+        Fuzz.Sched_walk.evaluate w ~oracles case
+    | _ -> Fuzz.Oracle.evaluate oracles case
+  in
   List.exists
     (fun (n, o) ->
       n = oracle
       && match o with Fuzz.Oracle.Fail _ -> true | Pass | Skip _ -> false)
-    (Fuzz.Oracle.evaluate oracles case)
+    results
 
-let shrink ?(max_evals = 200) ~oracles ~oracle (case : Fuzz.Gen.case) :
-    Fuzz.Gen.case =
+let shrink ?(max_evals = 200) ?(session_reuse = true) ~oracles ~oracle
+    (case : Fuzz.Gen.case) : Fuzz.Gen.case =
+  (* every move below is schedule-only, so one walker serves the whole
+     descent: undo to the divergence point, re-deliver the suffix *)
+  let walker =
+    if session_reuse && case.Fuzz.Gen.c_schedule <> [] then
+      Some (Fuzz.Sched_walk.create case)
+    else None
+  in
   let evals = ref 0 in
   let ok c =
     !evals < max_evals
     && begin
          incr evals;
-         still_fails ~oracles ~oracle c
+         still_fails ?walker ~oracles ~oracle c
        end
   in
   let rec improve (case : Fuzz.Gen.case) =

@@ -1,0 +1,18 @@
+external raw_now : unit -> float = "abc_mclock_now"
+
+(* Ratchet: CLOCK_MONOTONIC already never decreases, but the
+   gettimeofday fallback can.  The last value lives in an Atomic of
+   the boxed float itself — compare_and_set is physical equality on
+   the box we just read, so the ratchet is domain-safe without a
+   lock.  (Storing the IEEE bit pattern in a native int would lose
+   the top bit: OCaml ints are 63-bit.) *)
+let last = Atomic.make 0.0
+
+let rec ratchet v =
+  let prev = Atomic.get last in
+  if v <= prev then prev
+  else if Atomic.compare_and_set last prev v then v
+  else ratchet v
+
+let now () = ratchet (raw_now ())
+let epoch () = Unix.gettimeofday ()

@@ -1,0 +1,20 @@
+(** Monotonic wall clock for interval measurement.
+
+    [now ()] returns seconds from an arbitrary origin, backed by
+    [clock_gettime(CLOCK_MONOTONIC)] where available (falling back to
+    [gettimeofday] otherwise) and ratcheted so that within a process
+    the value never decreases — even under NTP steps or a
+    [gettimeofday] fallback, a timeout computed as [now () -. t0]
+    cannot go negative.
+
+    The origin is unspecified: values are only meaningful as
+    differences within one process.  Use {!epoch} when a human-facing
+    absolute timestamp is genuinely wanted. *)
+
+val now : unit -> float
+(** Monotonic seconds since an arbitrary per-process origin.
+    Never decreases within a process. *)
+
+val epoch : unit -> float
+(** [Unix.gettimeofday]: absolute seconds since the Unix epoch, for
+    display only — subject to clock steps, never use for timeouts. *)

@@ -1,0 +1,40 @@
+/* Monotonic clock primitive.
+ *
+ * clock_gettime(CLOCK_MONOTONIC) where the platform has it (POSIX —
+ * every Linux/macOS this tree builds on), gettimeofday otherwise.
+ * Returns seconds as a double; the OCaml side layers a ratchet on top
+ * so the fallback can never be observed going backwards either. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <sys/timeb.h>
+#else
+#include <time.h>
+#include <sys/time.h>
+#endif
+
+CAMLprim value abc_mclock_now(value unit)
+{
+  (void)unit;
+#if defined(_WIN32)
+  struct _timeb tb;
+  _ftime(&tb);
+  return caml_copy_double((double)tb.time + (double)tb.millitm * 1e-3);
+#elif defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+  /* fall through to gettimeofday on failure */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+#else
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+#endif
+}

@@ -147,7 +147,7 @@ let emit cat name kind args =
       ev_scope = scope;
       ev_seq = seq;
       ev_args = args;
-      ev_wall = Unix.gettimeofday ();
+      ev_wall = Mclock.now ();
       ev_dom = (Domain.self () :> int);
     }
 

@@ -43,7 +43,9 @@ type event = {
   ev_scope : int;  (** logical scope id; [-1] = ambient *)
   ev_seq : int;  (** emission index within the scope (or the domain, if ambient) *)
   ev_args : (string * arg) list;
-  ev_wall : float;  (** wall clock at emission — never part of the digest *)
+  ev_wall : float;
+      (** monotonic clock at emission ({!Mclock.now}: arbitrary
+          origin, never decreases) — never part of the digest *)
   ev_dom : int;  (** physical domain id — never part of the digest *)
 }
 

@@ -17,7 +17,9 @@
     at all and a pool of [j] workers spawns [j - 1] domains. *)
 
 let recommended_jobs () = Domain.recommended_domain_count ()
-let now () = Unix.gettimeofday ()
+let now () = Mclock.now ()
+
+exception Cancelled
 
 type stats = { st_wall : float; st_alloc_words : float }
 
@@ -51,7 +53,11 @@ let take_back d =
   Mutex.unlock d.lock;
   c
 
-let map_stats ?jobs ?(fail_fast = false) ?chunk n f =
+(* Core runner shared by every public entry point: executes the task
+   family and reports per-index outcomes without deciding a failure
+   policy.  [results.(i)] is [None] exactly for tasks never started
+   (possible only after a fail-fast cancellation). *)
+let run_all ?jobs ?(fail_fast = false) ?chunk n f =
   if n < 0 then invalid_arg "Pool.map: negative task count";
   if Domain.DLS.get inside_pool then
     invalid_arg "Pool.map: nested submission from inside a pool task";
@@ -70,9 +76,10 @@ let map_stats ?jobs ?(fail_fast = false) ?chunk n f =
     let t0 = now () in
     let a0 = Gc.minor_words () in
     (match f i with
-    | v -> results.(i) <- Some v
+    | v -> results.(i) <- Some (Ok v)
     | exception e ->
         let bt = Printexc.get_raw_backtrace () in
+        results.(i) <- Some (Error (e, bt));
         Mutex.lock err_lock;
         errors := (i, e, bt) :: !errors;
         Mutex.unlock err_lock;
@@ -133,18 +140,50 @@ let map_stats ?jobs ?(fail_fast = false) ?chunk n f =
   let domains = List.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
   worker 0 ();
   List.iter Domain.join domains;
-  (match
-     (* deterministic choice: the smallest failing index wins *)
-     List.sort (fun (i, _, _) (j, _, _) -> compare i j) !errors
-   with
-  | (_, e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+  let sorted_errors =
+    List.sort (fun (i, _, _) (j, _, _) -> compare i j) !errors
+  in
+  (results, sorted_errors, wall, alloc)
+
+let stats_of wall alloc n =
+  Array.init n (fun i -> { st_wall = wall.(i); st_alloc_words = alloc.(i) })
+
+let map_stats ?jobs ?fail_fast ?chunk n f =
+  let results, errors, wall, alloc = run_all ?jobs ?fail_fast ?chunk n f in
+  (match errors with
+  | (first, e, bt) :: rest ->
+      (* Every failure beyond the re-raised one used to vanish; log
+         them (ambient — error arrival order is a scheduling accident)
+         so a supervisor watching the trace sees the full picture. *)
+      if Obs.on () then
+        List.iter
+          (fun (i, e, _) ->
+            Obs.instant "pool" "secondary-error"
+              [
+                ("i", Obs.I i);
+                ("first", Obs.I first);
+                ("exn", Obs.S (Printexc.to_string e));
+              ])
+          rest;
+      (* deterministic choice: the smallest failing index wins *)
+      Printexc.raise_with_backtrace e bt
   | [] -> ());
   ( Array.map
       (function
-        | Some v -> v
-        | None -> invalid_arg "Pool.map: missing result (cancelled run?)")
+        | Some (Ok v) -> v
+        | Some (Error _) | None ->
+            invalid_arg "Pool.map: missing result (cancelled run?)")
       results,
-    Array.init n (fun i -> { st_wall = wall.(i); st_alloc_words = alloc.(i) }) )
+    stats_of wall alloc n )
 
 let map ?jobs ?fail_fast ?chunk n f =
   fst (map_stats ?jobs ?fail_fast ?chunk n f)
+
+let map_all_errors ?jobs ?fail_fast ?chunk n f =
+  let results, _errors, _wall, _alloc = run_all ?jobs ?fail_fast ?chunk n f in
+  Array.map
+    (function
+      | Some (Ok v) -> Ok v
+      | Some (Error (e, _)) -> Error e
+      | None -> Error Cancelled)
+    results

@@ -18,16 +18,27 @@
     Failure: a task that raises never tears down the pool mid-run by
     itself.  The exception (with its backtrace) is captured; at join
     the exception of the {e smallest failing index} is re-raised, a
-    deterministic choice.  With [fail_fast:true] the first captured
-    failure additionally cancels the run: workers finish their current
-    task, drain nothing further, and the join re-raises early. *)
+    deterministic choice, and every {e other} captured failure is
+    logged as an ambient ["pool"]/["secondary-error"] Obs instant so
+    no error is silently dropped.  With [fail_fast:true] the first
+    captured failure additionally cancels the run: workers finish
+    their current task, drain nothing further, and the join re-raises
+    early.  {!map_all_errors} reports every per-index outcome instead
+    of raising. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the default worker count. *)
 
 val now : unit -> float
-(** Wall-clock seconds ([Unix.gettimeofday]); exposed so callers time
-    whole runs with the same clock the per-task stats use. *)
+(** Monotonic seconds ({!Mclock.now}): never decreases within a
+    process, so intervals and timeouts survive wall-clock steps.
+    Origin is arbitrary — only differences are meaningful.  Exposed so
+    callers time whole runs with the same clock the per-task stats
+    use. *)
+
+exception Cancelled
+(** Outcome recorded by {!map_all_errors} for tasks that never ran
+    because a [fail_fast] cancellation drained the queues first. *)
 
 (** Per-task execution cost, measured around the task on its worker
     domain.  {e Not} deterministic — keep it out of any output that
@@ -58,3 +69,20 @@ val map_stats :
   (int -> 'a) ->
   'a array * stats array
 (** Like {!map}, also returning the per-task cost in index order. *)
+
+val map_all_errors :
+  ?jobs:int ->
+  ?fail_fast:bool ->
+  ?chunk:int ->
+  int ->
+  (int -> 'a) ->
+  ('a, exn) result array
+(** Like {!map}, but never re-raises a task failure: the returned
+    array has, at each index, [Ok v] for a task that returned,
+    [Error e] for a task that raised [e], and [Error Cancelled] for a
+    task that never started because [fail_fast] cancellation emptied
+    the queues first.  A supervisor deciding what to retry sees every
+    failure, not just the smallest index.
+
+    @raise Invalid_argument on [n < 0] or nested submission (these are
+    caller bugs, not task outcomes). *)
