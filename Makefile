@@ -1,4 +1,4 @@
-.PHONY: all build test fuzz boundary check check-par mc-smoke dist-smoke bench reports coverage clean
+.PHONY: all build test fuzz boundary check check-par mc-smoke dist-smoke net-smoke bench reports coverage clean
 
 # Cases for the parallel determinism check; override with
 # `make check-par CASES=1000` for the full acceptance run.
@@ -71,6 +71,39 @@ dist-smoke: build
 	  --boundary --shards 2 > _build/dist_mc_sharded.txt
 	cmp _build/dist_mc_serial.txt _build/dist_mc_sharded.txt
 	dune exec bench/main.exe -- dist --out BENCH_dist.json
+
+# Network smoke: campaigns over real localhost sockets must be
+# byte-identical to the serial report — for a dialed unix-socket
+# worker fleet, and for self-registering TCP workers (abc serve
+# --connect) under every network fault the harness injects, including
+# a stall that forces a heartbeat kill and a unit re-lease onto the
+# surviving endpoint; the net bench must agree (it exits non-zero on
+# any divergence and writes BENCH_net.json).  Workers run from the
+# built binary directly so they can sit in the background without
+# fighting dune's build lock.
+NET_PORT ?= 17873
+ABC = _build/default/bin/abc_cli.exe
+net-smoke: build
+	dune exec bin/abc_cli.exe -- fuzz --cases 200 --seed 1 > _build/net_serial.txt
+	rm -f /tmp/abc_net_smoke_1.sock /tmp/abc_net_smoke_2.sock
+	$(ABC) serve --listen unix:/tmp/abc_net_smoke_1.sock --id 1 --once & \
+	$(ABC) serve --listen unix:/tmp/abc_net_smoke_2.sock --id 2 --once & \
+	$(ABC) fuzz --cases 200 --seed 1 --shards 4 \
+	  --workers unix:/tmp/abc_net_smoke_1.sock,unix:/tmp/abc_net_smoke_2.sock \
+	  > _build/net_workers.txt; \
+	wait; cmp _build/net_serial.txt _build/net_workers.txt
+	for nem in nrefuse:1@1 ndrop:1@2 npartial:1@1 ndup:1@2 stall:1@2; do \
+	  hb=2; if [ "$$nem" = "stall:1@2" ]; then hb=1; fi; \
+	  $(ABC) serve --connect 127.0.0.1:$(NET_PORT) --id 1 --nemesis "$$nem" --once & w1=$$!; \
+	  $(ABC) serve --connect 127.0.0.1:$(NET_PORT) --id 2 --once & w2=$$!; \
+	  $(ABC) fuzz --cases 200 --seed 1 --shards 4 \
+	    --listen 127.0.0.1:$(NET_PORT) --heartbeat $$hb > _build/net_fault.txt \
+	    || exit 1; \
+	  kill $$w1 $$w2 2>/dev/null; wait $$w1 $$w2 2>/dev/null; \
+	  cmp _build/net_serial.txt _build/net_fault.txt || exit 1; \
+	  echo "net-smoke: identical under $$nem"; \
+	done
+	dune exec bench/main.exe -- net --out BENCH_net.json
 
 reports: build
 	dune exec bench/main.exe -- reports

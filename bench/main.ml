@@ -1539,12 +1539,213 @@ let run_dist_bench ~cases ~seed ~shards ~out =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* net: transport series.  Raw framing throughput over each byte
+   stream the shard protocol can ride (pipe pair, Unix-domain socket,
+   localhost TCP), then the same small campaign run over each
+   transport with per-unit round-trip wall — and the only number that
+   gates: all reports byte-identical to the serial run. *)
+
+let net_frame_count = 20_000
+
+(* frames/sec through one transport: a writer domain pushes
+   [net_frame_count] heartbeat frames in batches, the main domain
+   parses them back out of the stream. *)
+let frames_per_sec mk =
+  let wr, rd, cleanup = mk () in
+  let one = Dist.Frame.encode Dist.Frame.M_heartbeat in
+  let batch = String.concat "" (List.init 100 (fun _ -> one)) in
+  let t0 = Pool.now () in
+  let writer =
+    Domain.spawn (fun () ->
+        for _ = 1 to net_frame_count / 100 do
+          Net.Transport.write wr batch
+        done)
+  in
+  let p = Dist.Frame.parser_create () in
+  let buf = Bytes.create 65536 in
+  let got = ref 0 in
+  while !got < net_frame_count do
+    let n = Net.Transport.read rd buf 0 65536 in
+    if n = 0 then failwith "net bench: unexpected EOF";
+    Dist.Frame.feed p buf n;
+    let rec drain () =
+      match Dist.Frame.next p with
+      | Ok (Some _) ->
+          incr got;
+          drain ()
+      | Ok None -> ()
+      | Error e -> failwith ("net bench: " ^ e)
+    in
+    drain ()
+  done;
+  Domain.join writer;
+  let wall = Pool.now () -. t0 in
+  cleanup ();
+  float_of_int net_frame_count /. wall
+
+let mk_pipe_wire () =
+  let r, w = Unix.pipe () in
+  let t = Net.Transport.of_pipe ~read_fd:r ~write_fd:w in
+  (t, t, fun () -> Net.Transport.close t)
+
+let mk_unix_wire () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ta = Net.Transport.of_fd a ~peer:"bench-a" in
+  let tb = Net.Transport.of_fd b ~peer:"bench-b" in
+  ( ta,
+    tb,
+    fun () ->
+      Net.Transport.close ta;
+      Net.Transport.close tb )
+
+let mk_tcp_wire () =
+  let l =
+    match Net.Transport.listen (Net.Transport.Tcp ("127.0.0.1", 0)) with
+    | Ok l -> l
+    | Error e -> failwith e
+  in
+  let c =
+    match Net.Transport.connect (Net.Transport.bound_addr l) with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  let s =
+    match Net.Transport.accept l with Ok s -> s | Error e -> failwith e
+  in
+  Net.Transport.close_listener l;
+  ( c,
+    s,
+    fun () ->
+      Net.Transport.close c;
+      Net.Transport.close s )
+
+(* a free localhost port: bind 0, read it back, release it *)
+let free_tcp_port () =
+  match Net.Transport.listen (Net.Transport.Tcp ("127.0.0.1", 0)) with
+  | Error e -> failwith e
+  | Ok l -> (
+      let a = Net.Transport.bound_addr l in
+      Net.Transport.close_listener l;
+      match a with Net.Transport.Tcp (_, p) -> p | _ -> assert false)
+
+let spawn_serve_worker ~id ~addr =
+  let binding =
+    Dist.Serve.env_binding ~id ~mode:Dist.Serve.Listen ~addr
+      ~nemesis:Dist.Nemesis.none ~once:true ()
+  in
+  let env = Array.append (Unix.environment ()) [| binding |] in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin null null
+  in
+  Unix.close null;
+  pid
+
+let run_net_bench ~cases ~seed ~out =
+  Format.printf
+    "net series: framing throughput + campaign RTT per transport, cases=%d \
+     seed=%d@."
+    cases seed;
+  let fps_pipe = frames_per_sec mk_pipe_wire in
+  let fps_unix = frames_per_sec mk_unix_wire in
+  let fps_tcp = frames_per_sec mk_tcp_wire in
+  Format.printf
+    "  frames/sec:        pipe %.0f, unix-socket %.0f, localhost tcp %.0f@."
+    fps_pipe fps_unix fps_tcp;
+  let time f =
+    let t0 = Pool.now () in
+    let r = f () in
+    (r, Pool.now () -. t0)
+  in
+  let serial_r =
+    Fuzz.Report.render
+      (Fuzz.Campaign.run ~oracles:Fuzz.Oracle.registry ~shrink:true ~jobs:1
+         ~cases ~seed ())
+  in
+  let nunits = (cases + 15) / 16 in
+  let campaign ?(endpoints = []) () =
+    let cfg = Dist.Supervisor.make_config ~shards:2 ~endpoints () in
+    let report, wall =
+      time (fun () ->
+          Dist.Supervisor.run_fuzz ~quiet:true cfg ~seed ~cases
+            ~boundary:false ~shrink:true ~oracles:None ())
+    in
+    (Fuzz.Report.render report = serial_r, wall /. float_of_int nunits)
+  in
+  let over_serve_fleet addrs k =
+    let pids =
+      List.mapi (fun i addr -> spawn_serve_worker ~id:(i + 1) ~addr) addrs
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun pid ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+          pids)
+      k
+  in
+  let pipe_ok, pipe_rtt = campaign () in
+  Format.printf "  pipe workers:      %.1f ms/unit, identical: %b@."
+    (pipe_rtt *. 1e3) pipe_ok;
+  let sock_path i =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "abc_bench_net_%d_%d.sock" (Unix.getpid ()) i)
+  in
+  let unix_addrs = [ sock_path 1; sock_path 2 ] in
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) unix_addrs;
+  let unix_eps =
+    List.map (fun p -> Net.Transport.Unix_sock p) unix_addrs
+  in
+  let unix_ok, unix_rtt =
+    over_serve_fleet unix_eps (fun () ->
+        campaign ~endpoints:(List.map (fun a -> (a, 1)) unix_eps) ())
+  in
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) unix_addrs;
+  Format.printf "  unix-socket workers: %.1f ms/unit, identical: %b@."
+    (unix_rtt *. 1e3) unix_ok;
+  let tcp_eps =
+    [
+      Net.Transport.Tcp ("127.0.0.1", free_tcp_port ());
+      Net.Transport.Tcp ("127.0.0.1", free_tcp_port ());
+    ]
+  in
+  let tcp_ok, tcp_rtt =
+    over_serve_fleet tcp_eps (fun () ->
+        campaign ~endpoints:(List.map (fun a -> (a, 1)) tcp_eps) ())
+  in
+  Format.printf "  tcp workers:       %.1f ms/unit, identical: %b@."
+    (tcp_rtt *. 1e3) tcp_ok;
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf
+    "{\n\
+    \  \"bench\": \"net\",\n\
+    \  \"campaign\": {\"cases\": %d, \"seed\": %d, \"shards\": 2, \"units\": \
+     %d},\n\
+    \  \"frames_per_sec\": {\"pipe\": %.0f, \"unix\": %.0f, \"tcp\": %.0f},\n\
+    \  \"unit_rtt_ms\": {\"pipe\": %.2f, \"unix\": %.2f, \"tcp\": %.2f},\n\
+    \  \"identical\": {\"pipe\": %b, \"unix\": %b, \"tcp\": %b}\n\
+     }\n"
+    cases seed nunits fps_pipe fps_unix fps_tcp (pipe_rtt *. 1e3)
+    (unix_rtt *. 1e3) (tcp_rtt *. 1e3) pipe_ok unix_ok tcp_ok;
+  write_file out (Buffer.contents buf);
+  Format.printf "  series written to %s@." out;
+  if not (pipe_ok && unix_ok && tcp_ok) then begin
+    Format.eprintf
+      "error: a socket-sharded report diverged from the serial one@.";
+    exit 1
+  end
+
 let usage () =
   prerr_endline
     "usage: main.exe [reports [SECTION...] [-j N]] | [pool [--cases N] \
      [--jobs N] [--seed N] [--out FILE]] | [rat [--out FILE]] | [byz [--out \
      FILE]] | [mc [--procs N] [--budget B] [--out FILE]] | [obs [--out \
-     FILE]] | [dist [--cases N] [--seed N] [--shards N] [--out FILE]]";
+     FILE]] | [dist [--cases N] [--seed N] [--shards N] [--out FILE]] | [net \
+     [--cases N] [--seed N] [--out FILE]]";
   exit 2
 
 let int_arg name = function
@@ -1562,6 +1763,7 @@ let () =
   (* The dist supervisor re-executes whatever binary spawned it as its
      workers; this makes the bench harness self-hosting too. *)
   Dist.Worker.maybe_run ();
+  Dist.Serve.maybe_run ();
   match Array.to_list Sys.argv with
   | _ :: "reports" :: rest ->
       let rec go only jobs = function
@@ -1644,6 +1846,19 @@ let () =
         | _ -> usage ()
       in
       go ~cases:120 ~seed:1 ~shards:4 ~out:"BENCH_dist.json" rest
+  | _ :: "net" :: rest ->
+      let rec go ~cases ~seed ~out = function
+        | [] -> run_net_bench ~cases ~seed ~out
+        | "--cases" :: rest ->
+            let cases, rest = int_arg "--cases" rest in
+            go ~cases ~seed ~out rest
+        | "--seed" :: rest ->
+            let seed, rest = int_arg "--seed" rest in
+            go ~cases ~seed ~out rest
+        | "--out" :: file :: rest -> go ~cases ~seed ~out:file rest
+        | _ -> usage ()
+      in
+      go ~cases:120 ~seed:1 ~out:"BENCH_net.json" rest
   | [ _ ] ->
       run_reports ();
       run_benchmarks ()

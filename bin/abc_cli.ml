@@ -321,6 +321,71 @@ let cmd_omega =
   Cmd.v (Cmd.info "omega" ~doc:"Run the Omega leader-election construction.") term
 
 (* ------------------------------------------------------------------ *)
+(* Network provisioning arguments (shared by fuzz/mc --shards) *)
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workers" ] ~docv:"EPS"
+        ~doc:
+          "Comma-separated socket-worker endpoints for $(b,--shards), e.g. \
+           $(b,10.0.0.2:7001*4,unix:/tmp/w.sock).  Each endpoint (started \
+           with $(b,abc serve --listen)) is dialed and dealt units; an \
+           optional $(b,*WEIGHT) suffix declares capacity (bigger boxes are \
+           offered work first — wall-clock only, the report is identical).")
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Accept self-registering workers ($(b,abc serve --connect ADDR)) \
+           on this address for the duration of the sharded run.")
+
+let connect_timeout_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "connect-timeout" ] ~docv:"SECS"
+        ~doc:"Deadline for each worker-endpoint dial.")
+
+let max_frame_arg =
+  Arg.(
+    value & opt int Dist.Frame.max_payload
+    & info [ "max-frame" ] ~docv:"BYTES"
+        ~doc:
+          "Reject any protocol frame whose length prefix exceeds this many \
+           bytes — checked $(i,before) allocating the payload; the offending \
+           worker is quarantined and its shard named in the diagnostic.")
+
+(* Parse/validate the net options; [Ok (endpoints, listen)] feeds
+   straight into {!Dist.Supervisor.make_config}. *)
+let parse_net_opts ~shards ~workers ~listen ~max_frame :
+    ((Net.Transport.addr * int) list * Net.Transport.addr option, string) result
+    =
+  let ( let* ) = Result.bind in
+  let* () =
+    if shards <= 0 && (workers <> None || listen <> None) then
+      Error "--workers/--listen only apply to sharded runs (--shards N)"
+    else Ok ()
+  in
+  let* () =
+    if max_frame < 1 then Error "--max-frame must be >= 1" else Ok ()
+  in
+  let* endpoints =
+    match workers with
+    | None -> Ok []
+    | Some s -> Net.Registry.parse_workers s
+  in
+  let* listen =
+    match listen with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (Net.Transport.addr_of_string s)
+  in
+  Ok (endpoints, listen)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz *)
 
 let list_oracle_registry () =
@@ -332,7 +397,7 @@ let list_oracle_registry () =
 let cmd_fuzz =
   let run cases seed time_budget replay emit no_shrink oracle_spec jobs timing
       boundary expect_violations shards checkpoint resume_from nemesis_spec
-      heartbeat =
+      heartbeat workers listen connect_timeout max_frame =
     let oracle_selection =
       match oracle_spec with
       | None -> Ok None
@@ -421,6 +486,13 @@ let cmd_fuzz =
                   Format.eprintf "error: %s@." e;
                   1
               | Ok nemesis -> (
+                  match
+                    parse_net_opts ~shards ~workers ~listen ~max_frame
+                  with
+                  | Error e ->
+                      Format.eprintf "error: %s@." e;
+                      1
+                  | Ok (endpoints, listen) -> (
                   let checkpoint, resume =
                     match resume_from with
                     | Some f -> (Some f, true)
@@ -428,7 +500,8 @@ let cmd_fuzz =
                   in
                   let cfg =
                     Dist.Supervisor.make_config ~shards ~heartbeat ?checkpoint
-                      ~resume ~nemesis ()
+                      ~resume ~nemesis ~endpoints ?listen ~connect_timeout
+                      ~max_frame ()
                   in
                   match
                     Dist.Supervisor.run_fuzz cfg ~seed ~cases ~boundary
@@ -444,15 +517,20 @@ let cmd_fuzz =
                       3
                   | exception Dist.Supervisor.Dist_error e ->
                       Format.eprintf "error: %s@." e;
-                      1)
+                      1))
           else
-            let time_budget =
-              if time_budget > 0.0 then Some time_budget else None
-            in
-            let jobs = if jobs > 0 then Some jobs else None in
-            report
-              (Fuzz.Campaign.run ~oracles ~shrink:(not no_shrink) ~boundary
-                 ?time_budget ?jobs ~cases ~seed ())))
+            match parse_net_opts ~shards ~workers ~listen ~max_frame with
+            | Error e ->
+                Format.eprintf "error: %s@." e;
+                1
+            | Ok _ ->
+                let time_budget =
+                  if time_budget > 0.0 then Some time_budget else None
+                in
+                let jobs = if jobs > 0 then Some jobs else None in
+                report
+                  (Fuzz.Campaign.run ~oracles ~shrink:(not no_shrink) ~boundary
+                     ?time_budget ?jobs ~cases ~seed ())))
   in
   let cases =
     Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc:"Number of cases to run.")
@@ -572,7 +650,8 @@ let cmd_fuzz =
     Term.(
       const run $ cases $ seed_arg $ time_budget $ replay $ emit $ no_shrink
       $ oracle_spec $ jobs $ timing $ boundary $ expect_violations $ shards
-      $ checkpoint $ resume_from $ nemesis_spec $ heartbeat)
+      $ checkpoint $ resume_from $ nemesis_spec $ heartbeat $ workers_arg
+      $ listen_arg $ connect_timeout_arg $ max_frame_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -587,7 +666,8 @@ let cmd_fuzz =
 
 let cmd_mc =
   let run procs xi budget workload faults boundary seed jobs frontier no_dpor
-      engine no_tt cross_check stats shards =
+      engine no_tt cross_check stats shards workers listen connect_timeout
+      max_frame =
     let ( let* ) r f =
       match r with
       | Error e ->
@@ -649,16 +729,26 @@ let cmd_mc =
     let dpor = not no_dpor in
     let* outcome =
       if shards > 0 then
-        (* frontier tasks sharded across worker subprocesses; the merge
-           is the same pure function, so the report is byte-identical *)
-        let cfg = Dist.Supervisor.make_config ~shards () in
+        (* frontier tasks sharded across workers (sockets or
+           subprocesses); the merge is the same pure function, so the
+           report is byte-identical *)
+        match parse_net_opts ~shards ~workers ~listen ~max_frame with
+        | Error e -> Error e
+        | Ok (endpoints, listen) -> (
+        let cfg =
+          Dist.Supervisor.make_config ~shards ~endpoints ?listen
+            ~connect_timeout ~max_frame ()
+        in
         match
           Dist.Supervisor.run_mc cfg ~dpor
             ~incremental:(engine = Mc.Explore.Incremental) ~tt ~frontier case
         with
         | o -> Ok o
-        | exception Dist.Supervisor.Dist_error e -> Error e
-      else Ok (Mc.Driver.run ~dpor ~engine ~tt ~frontier ?jobs case)
+        | exception Dist.Supervisor.Dist_error e -> Error e)
+      else (
+        match parse_net_opts ~shards ~workers ~listen ~max_frame with
+        | Error e -> Error e
+        | Ok _ -> Ok (Mc.Driver.run ~dpor ~engine ~tt ~frontier ?jobs case))
     in
     print_string (Mc.Mc_report.render ~stats outcome);
     let ok = ref (outcome.Mc.Driver.mc_violations = []) in
@@ -810,7 +900,8 @@ let cmd_mc =
     Term.(
       const run $ procs_arg ~default:3 $ xi_arg $ budget $ workload $ faults
       $ boundary $ seed_arg $ jobs $ frontier $ no_dpor $ engine $ no_tt
-      $ cross_check $ stats $ shards)
+      $ cross_check $ stats $ shards $ workers_arg $ listen_arg
+      $ connect_timeout_arg $ max_frame_arg)
   in
   Cmd.v
     (Cmd.info "mc"
@@ -844,11 +935,13 @@ let cmd_trace =
       | None -> Ok None
       | Some s ->
           let toks = if s = "" then [] else String.split_on_char ',' s in
-          let valid = [ "sim"; "fuzz"; "mc"; "pool"; "dist" ] in
+          let valid = [ "sim"; "fuzz"; "mc"; "pool"; "dist"; "net" ] in
           if toks <> [] && List.for_all (fun t -> List.mem t valid) toks then
             Ok (Some toks)
           else
-            Error "bad --filter (comma-separated subset of sim,fuzz,mc,pool,dist)"
+            Error
+              "bad --filter (comma-separated subset of \
+               sim,fuzz,mc,pool,dist,net)"
     in
     let* () =
       if replay <> None && mc then
@@ -970,8 +1063,8 @@ let cmd_trace =
       & info [ "filter" ] ~docv:"CATS"
           ~doc:
             "Keep only these event categories (comma-separated subset of \
-             sim,fuzz,mc,pool,dist).  The digest is computed on the filtered \
-             stream.")
+             sim,fuzz,mc,pool,dist,net).  The digest is computed on the \
+             filtered stream.")
   in
   let no_wall =
     Arg.(
@@ -1037,14 +1130,113 @@ let cmd_worker =
     Term.(const run $ id $ nemesis)
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+let cmd_serve =
+  let run listen connect id nemesis max_frame once =
+    let fail msg =
+      Format.eprintf "error: %s@." msg;
+      1
+    in
+    match (listen, connect) with
+    | None, None | Some _, Some _ ->
+        fail "serve needs exactly one of --listen ADDR or --connect ADDR"
+    | _ -> (
+        let mode, addr_s =
+          match (listen, connect) with
+          | Some a, None -> (Dist.Serve.Listen, a)
+          | None, Some a -> (Dist.Serve.Connect, a)
+          | _ -> assert false
+        in
+        if max_frame < 1 then fail "--max-frame must be >= 1"
+        else
+          match Net.Transport.addr_of_string addr_s with
+          | Error e -> fail e
+          | Ok addr -> (
+              match
+                match nemesis with
+                | None -> Ok Dist.Nemesis.none
+                | Some s -> Dist.Nemesis.parse s
+              with
+              | Error e -> fail e
+              | Ok nemesis ->
+                  Dist.Serve.run
+                    {
+                      Dist.Serve.sv_id = id;
+                      sv_mode = mode;
+                      sv_addr = addr;
+                      sv_nemesis = nemesis;
+                      sv_max_frame = max_frame;
+                      sv_once = once;
+                    }))
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Bind $(i,ADDR) ($(b,HOST:PORT) or $(b,unix:PATH)) and serve one \
+             campaign connection at a time; the supervisor reaches this \
+             worker via $(b,--workers ADDR).")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Dial a supervisor running with $(b,--listen ADDR) and \
+             self-register as a worker, redialing with jittered backoff if \
+             the connection drops before the campaign ends.")
+  in
+  let id =
+    Arg.(
+      value & opt int 0
+      & info [ "id" ] ~docv:"N"
+          ~doc:"Worker id (names this worker in nemesis plans).")
+  in
+  let nemesis =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "nemesis" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan this worker injects on itself, including the network \
+             faults $(b,nrefuse)/$(b,ndrop)/$(b,npartial)/$(b,ndup) (see \
+             $(b,abc fuzz --nemesis)).")
+  in
+  let max_frame =
+    Arg.(
+      value & opt int Dist.Frame.max_payload
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Reject frames whose length prefix exceeds this many bytes.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Exit after the first campaign ends instead of serving forever.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Socket shard worker for multi-machine campaigns: the same frame \
+          protocol as $(b,abc worker), carried over TCP or Unix-domain \
+          sockets, either listening for a supervisor ($(b,--listen)) or \
+          self-registering with one ($(b,--connect)).")
+    Term.(const run $ listen $ connect $ id $ nemesis $ max_frame $ once)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* re-executed as a shard worker?  enter the loop, never return *)
   Dist.Worker.maybe_run ();
+  Dist.Serve.maybe_run ();
   let doc = "laboratory for the Asynchronous Bounded-Cycle model reproduction" in
   let info = Cmd.info "abc" ~version:"1.0.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ cmd_check; cmd_threshold; cmd_assign; cmd_simulate; cmd_consensus; cmd_detect; cmd_omega; cmd_fuzz; cmd_mc; cmd_trace; cmd_worker ]))
+          [ cmd_check; cmd_threshold; cmd_assign; cmd_simulate; cmd_consensus; cmd_detect; cmd_omega; cmd_fuzz; cmd_mc; cmd_trace; cmd_worker; cmd_serve ]))

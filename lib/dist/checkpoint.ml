@@ -68,8 +68,56 @@ let create ~path ~fingerprint : t =
   let fd = Unix.openfile path [ O_WRONLY; O_APPEND ] 0o644 in
   { fd; path }
 
-(** Reopen an existing journal for appending (after {!load}). *)
-let reopen ~path : t = { fd = Unix.openfile path [ O_WRONLY; O_APPEND ] 0o644; path }
+(* Header validation shared by {!load} and {!reopen}: magic, version
+   and campaign fingerprint must all match before any byte of the
+   journal is trusted. *)
+let check_header ~path (data : string) ~fingerprint : (unit, string) result =
+  if String.length data < header_len then
+    Error (Printf.sprintf "checkpoint %s: truncated header" path)
+  else if String.sub data 0 7 <> magic then
+    Error (Printf.sprintf "checkpoint %s: bad magic (not a journal)" path)
+  else if data.[7] <> version then
+    Error
+      (Printf.sprintf "checkpoint %s: version %d, this binary writes version %d"
+         path (Char.code data.[7]) (Char.code version))
+  else if String.sub data 8 32 <> fingerprint then
+    Error
+      (Printf.sprintf
+         "checkpoint %s: fingerprint %s does not match this campaign (%s) — \
+          wrong seed, case count, oracle selection or shard layout"
+         path (String.sub data 8 32) fingerprint)
+  else Ok ()
+
+(** Reopen an existing journal for appending (after {!load}).
+    Re-verifies the header even though {!load} already did: between
+    the validation and the append — or between a [--resume] flag and
+    whatever worker endpoint set it is mixed with — the path can have
+    been swapped for a different campaign's journal, and appending
+    foreign-partition unit ids must fail loudly, not corrupt a
+    journal that would later resume cleanly. *)
+let reopen ~path ~fingerprint : (t, string) result =
+  match Unix.openfile path [ O_RDONLY ] 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot open checkpoint %s: %s" path
+           (Unix.error_message e))
+  | fd ->
+      let hdr = Bytes.create header_len in
+      let got = ref 0 in
+      (try
+         while !got < header_len do
+           let n = Unix.read fd hdr !got (header_len - !got) in
+           if n = 0 then raise Exit;
+           got := !got + n
+         done
+       with Exit -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match
+        check_header ~path (Bytes.sub_string hdr 0 !got) ~fingerprint
+      with
+      | Error _ as e -> e
+      | Ok () ->
+          Ok { fd = Unix.openfile path [ O_WRONLY; O_APPEND ] 0o644; path }
 
 let append (t : t) ~unit_id ~(blob : string) =
   let payload = Marshal.to_string (unit_id, blob) [] in

@@ -57,9 +57,12 @@ type msg =
       (** the unit raised in the worker; the worker itself is alive *)
   | M_quit  (** supervisor → worker: drain and exit 0 *)
 
-(* A payload length beyond this is treated as corruption, not as a
-   frame to wait for — it would otherwise make the supervisor buffer
-   unbounded garbage before detecting the bad CRC. *)
+(* A payload length beyond the cap is treated as corruption, not as a
+   frame to wait for — it would otherwise make the reader buffer (or
+   [Bytes.create]) unbounded garbage before detecting the bad CRC.
+   The default is generous; [--max-frame] tightens it per run, and
+   both the incremental parser and the blocking reader enforce it
+   {e before} allocating the payload. *)
 let max_payload = 256 * 1024 * 1024
 
 let type_byte = function
@@ -184,10 +187,13 @@ let hello = "ABCDIST-WORKER-1\n"
 
 let max_preamble = 65536
 
-type parser = { buf : Buffer.t; mutable await_hello : bool }
+type parser = { buf : Buffer.t; mutable await_hello : bool; max : int }
 
-let parser_create ?(await_hello = false) () =
-  { buf = Buffer.create 4096; await_hello }
+let parser_create ?(await_hello = false) ?(max_payload = max_payload) () =
+  if max_payload < 1 then invalid_arg "Frame.parser_create: max_payload must be >= 1";
+  { buf = Buffer.create 4096; await_hello; max = max_payload }
+
+let awaiting_hello p = p.await_hello
 
 let feed p (b : Bytes.t) n = Buffer.add_subbytes p.buf b 0 n
 
@@ -225,8 +231,8 @@ let rec next (p : parser) : (msg option, string) result =
   else if not (data.[0] = 'A' && data.[1] = 'B') then Error "bad frame magic"
   else
     let len = get_u32 data 3 in
-    if len < 0 || len > max_payload then
-      Error (Printf.sprintf "implausible frame length %d" len)
+    if len < 0 || len > p.max then
+      Error (Printf.sprintf "frame length %d exceeds the %d-byte cap" len p.max)
     else if have < 11 + len then Ok None
     else
       let crc_hdr = get_u32 data 7 in
@@ -254,7 +260,7 @@ let really_read fd b pos len =
    with Exit -> ());
   !got
 
-let read_blocking fd : (msg, string) result =
+let read_blocking ?(max_payload = max_payload) fd : (msg, string) result =
   let hdr = Bytes.create 11 in
   match really_read fd hdr 0 11 with
   | 0 -> Error "eof"
@@ -265,7 +271,7 @@ let read_blocking fd : (msg, string) result =
       else
         let len = get_u32 hs 3 in
         if len < 0 || len > max_payload then
-          Error (Printf.sprintf "implausible frame length %d" len)
+          Error (Printf.sprintf "frame length %d exceeds the %d-byte cap" len max_payload)
         else
           let payload = Bytes.create len in
           if really_read fd payload 0 len < len then

@@ -26,12 +26,46 @@
                     checkpointing its S-th unit — the --resume test
     v}
 
+    Network faults, for socket workers ([abc serve]); on the pipe
+    transport they are inert (a pipe has no connections to refuse):
+
+    {v
+      nrefuse:W@K   serve worker W slams its K-th {e connection} shut
+                    before the handshake — the connect-refused shape
+                    (K counts connections, not units)
+      ndrop:W@S     worker W computes its S-th unit, writes half the
+                    result frame, and drops the connection — the
+                    mid-frame disconnect; the process survives and
+                    accepts the reconnect
+      npartial:W@S  worker W dribbles its S-th result out in tiny
+                    delayed writes — a benign fault proving the
+                    supervisor reassembles frames across TCP segment
+                    boundaries
+      ndup:W@S      after its S-th result, a {e self-registering}
+                    worker (abc serve --connect) opens a duplicate
+                    registration, so the supervisor sees the same
+                    worker twice; inert for listening workers
+    v}
+
     Ordinals [S] are 1-based.  Worker ids name {e initial} spawn slots;
     replacement workers get fresh ids beyond the initial range, so a
     fault fires at most once and a re-dispatched shard lands on a
-    clean worker. *)
+    clean worker.  Socket workers keep their id (and their ordinal
+    counters) across reconnects — their faults are keyed on lifetime
+    totals of the serve process, deterministic for a given dispatch
+    history. *)
 
-type fault = Kill | Stall | Corrupt | Trunc | Dup | Flip
+type fault =
+  | Kill
+  | Stall
+  | Corrupt
+  | Trunc
+  | Dup
+  | Flip
+  | NRefuse
+  | NDrop
+  | NPartial
+  | NDup
 
 type t = {
   worker_faults : (int * int * fault) list;
@@ -54,6 +88,10 @@ let fault_name = function
   | Trunc -> "trunc"
   | Dup -> "dup"
   | Flip -> "flip"
+  | NRefuse -> "nrefuse"
+  | NDrop -> "ndrop"
+  | NPartial -> "npartial"
+  | NDup -> "ndup"
 
 let fault_of_name = function
   | "kill" -> Some Kill
@@ -62,6 +100,10 @@ let fault_of_name = function
   | "trunc" -> Some Trunc
   | "dup" -> Some Dup
   | "flip" -> Some Flip
+  | "nrefuse" -> Some NRefuse
+  | "ndrop" -> Some NDrop
+  | "npartial" -> Some NPartial
+  | "ndup" -> Some NDup
   | _ -> None
 
 let to_string t =
@@ -118,10 +160,19 @@ let parse (spec : string) : (t, string) result =
 
 (** The fault worker [w] must inject on its [ordinal]-th assigned
     unit, if any.  At most one fault per (worker, ordinal): the first
-    listed wins. *)
+    listed wins.  {!NRefuse} is connection-keyed, not unit-keyed, so
+    it never fires here — see {!conn_fault_for}. *)
 let fault_for t ~worker ~ordinal =
   List.find_map
-    (fun (w, s, f) -> if w = worker && s = ordinal then Some f else None)
+    (fun (w, s, f) ->
+      if w = worker && s = ordinal && f <> NRefuse then Some f else None)
+    t.worker_faults
+
+(** Should worker [w] refuse its [conn]-th accepted (or dialed)
+    connection?  Only {!NRefuse} keys on connection ordinals. *)
+let conn_fault_for t ~worker ~conn =
+  List.exists
+    (fun (w, s, f) -> w = worker && s = conn && f = NRefuse)
     t.worker_faults
 
 (** The spec substring a worker needs (its own faults only), for the

@@ -1,0 +1,396 @@
+(** Socket worker: the remote end of a multi-machine campaign.
+
+    [abc serve] speaks exactly the protocol the pipe worker speaks —
+    {!Frame.hello}, then framed messages — but over a stream socket
+    ({!Net.Transport}), in one of two provisioning shapes:
+
+    - {e listen} ([abc serve --listen HOST:PORT]): the worker binds a
+      socket and waits; the supervisor is given the address via
+      [--workers] and dials in.  The worker serves one campaign
+      connection at a time and goes back to accepting when it ends,
+      so one long-lived process can serve many campaigns.
+    - {e connect} ([abc serve --connect HOST:PORT]): the worker dials
+      a supervisor running with [--listen] and {e self-registers}.
+      If the connection drops before the supervisor says [M_quit],
+      the worker redials with the same jittered backoff the
+      supervisor uses, then gives up when its budget is spent.
+
+    Per-connection lifecycle mirrors {!Worker.run}: write the
+    handshake, spawn a heartbeat domain, answer [M_request]s with
+    {!Worker.exec_reply} until [M_quit] or EOF.  Unit {e ordinals}
+    (what the nemesis keys on) are lifetime totals of the process,
+    shared across reconnects — a fault plan stays deterministic for a
+    given dispatch history even when the connection bounces.
+
+    The network nemesis faults live here: [nrefuse] (slam the K-th
+    connection before the handshake), [ndrop] (half a result frame,
+    then hang up — the process survives and serves the reconnect),
+    [npartial] (dribble the result out in delayed single-byte writes),
+    [ndup] (open a duplicate registration after a result; connect
+    mode only). *)
+
+module Transport = Net.Transport
+
+let env_var = "ABC_DIST_SERVE"
+
+type mode = Listen | Connect
+
+type cfg = {
+  sv_id : int;
+  sv_mode : mode;
+  sv_addr : Transport.addr;
+  sv_nemesis : Nemesis.t;
+  sv_max_frame : int;
+  sv_once : bool;  (** exit after the first peer-ended connection *)
+}
+
+(* Writes from the request loop and the heartbeat domain share the
+   transport; one mutex per connection keeps frames whole. *)
+type cio = { lock : Mutex.t; tr : Transport.t }
+
+let csend c m =
+  Mutex.lock c.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.lock)
+    (fun () -> Transport.write c.tr (Frame.encode m))
+
+let craw c s =
+  Mutex.lock c.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.lock)
+    (fun () -> Transport.write c.tr s)
+
+let say fmt = Printf.ksprintf (fun s -> Printf.eprintf "serve: %s\n%!" s) fmt
+
+(* How a connection ended, which decides what happens next. *)
+type conn_end =
+  | C_quit  (** supervisor said [M_quit]: the campaign is over *)
+  | C_peer  (** EOF / error from the peer: redial or re-accept *)
+  | C_self  (** we hung up on purpose (ndrop): the peer will retry *)
+
+(* ------------------------------------------------------------------ *)
+
+(* Serve one established connection.  [ordinal] is the process-wide
+   unit counter (shared with any duplicate-registration domain). *)
+let serve_conn (cfg : cfg) ~(ordinal : int Atomic.t) ~redial (tr : Transport.t) :
+    conn_end =
+  let c = { lock = Mutex.create (); tr } in
+  (match craw c Frame.hello with
+  | () -> ()
+  | exception _ -> ());
+  let alive = Atomic.make true in
+  let beating = Atomic.make true in
+  let hb =
+    Domain.spawn (fun () ->
+        while Atomic.get alive do
+          Unix.sleepf Worker.heartbeat_interval;
+          if Atomic.get alive && Atomic.get beating then
+            try csend c Frame.M_heartbeat with _ -> Atomic.set alive false
+        done)
+  in
+  let spec : Work.spec option ref = ref None in
+  let finish res =
+    Atomic.set alive false;
+    (try Domain.join hb with _ -> ());
+    Transport.close tr;
+    res
+  in
+  let fd = Transport.readable_fd tr in
+  let rec loop () =
+    match Frame.read_blocking ~max_payload:cfg.sv_max_frame fd with
+    | Error _ -> finish C_peer
+    | Ok (Frame.M_spec s) -> (
+        match (Marshal.from_string s 0 : Work.spec) with
+        | sp ->
+            spec := Some sp;
+            loop ()
+        | exception _ -> finish C_peer)
+    | Ok Frame.M_quit -> finish C_quit
+    | Ok (Frame.M_heartbeat | Frame.M_done _ | Frame.M_error _) -> finish C_peer
+    | Ok (Frame.M_request { unit_id; lo; hi }) -> (
+        let ord = Atomic.fetch_and_add ordinal 1 + 1 in
+        match !spec with
+        | None -> finish C_peer (* request before spec *)
+        | Some sp -> (
+            match
+              Nemesis.fault_for cfg.sv_nemesis ~worker:cfg.sv_id ~ordinal:ord
+            with
+            | Some Nemesis.Stall ->
+                Atomic.set beating false;
+                while true do
+                  Unix.sleepf 3600.0
+                done;
+                assert false
+            | Some Nemesis.Trunc ->
+                (try craw c (String.sub (Frame.encode Frame.M_heartbeat) 0 5)
+                 with _ -> ());
+                Worker.kill_self ();
+                assert false
+            | Some Nemesis.Corrupt ->
+                (try Frame.write_garbage fd with _ -> ());
+                loop ()
+            | Some Nemesis.NDrop ->
+                (* compute the real reply, send half of it, hang up;
+                   the process survives and serves the reconnect *)
+                let reply =
+                  Worker.exec_reply sp ~unit_id ~lo ~hi ~flip:false
+                in
+                let bytes = Frame.encode reply in
+                (try craw c (String.sub bytes 0 (String.length bytes / 2))
+                 with _ -> ());
+                finish C_self
+            | Some Nemesis.NPartial ->
+                (* the same bytes, dribbled: proves the supervisor
+                   reassembles frames across segment boundaries *)
+                let reply =
+                  Worker.exec_reply sp ~unit_id ~lo ~hi ~flip:false
+                in
+                let bytes = Frame.encode reply in
+                let n = String.length bytes in
+                let cut = min n 11 in
+                (try
+                   for i = 0 to cut - 1 do
+                     craw c (String.sub bytes i 1);
+                     Unix.sleepf 0.002
+                   done;
+                   craw c (String.sub bytes cut (n - cut))
+                 with _ -> ());
+                loop ()
+            | fault ->
+                let reply =
+                  Worker.exec_reply sp ~unit_id ~lo ~hi
+                    ~flip:(fault = Some Nemesis.Flip)
+                in
+                (match csend c reply with
+                | () -> ()
+                | exception _ -> ());
+                (match fault with
+                | Some Nemesis.Dup -> (
+                    try csend c reply with _ -> ())
+                | Some Nemesis.Kill -> Worker.kill_self ()
+                | Some Nemesis.NDup ->
+                    (* duplicate registration: a second dial serving
+                       the same process-wide ordinal counter *)
+                    redial ()
+                | _ -> ());
+                loop ()))
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* The two provisioning shapes *)
+
+let redial_budget = 30
+
+(* Deterministic jittered backoff for redials, same shape as the
+   supervisor's (splitmix64 of (id, attempt)). *)
+let backoff ~id ~attempt =
+  let frac =
+    let open Int64 in
+    let z = add (of_int ((id * 777_767) + attempt)) 0x9E3779B97F4A7C15L in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = logxor z (shift_right_logical z 31) in
+    to_float (logand z 0xFFFFFFL) /. 16_777_216.0
+  in
+  let exp = 0.05 *. (2.0 ** float_of_int (max 0 (attempt - 1))) in
+  min 2.0 exp *. (1.0 +. ((frac -. 0.5) /. 2.0))
+
+let run (cfg : cfg) : 'a =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let ordinal = Atomic.make 0 in
+  let conns = ref 0 in
+  (* dial the supervisor once more, serving the connection in a fresh
+     domain — the ndup duplicate-registration fault (connect mode) *)
+  let dup_redial () =
+    match cfg.sv_mode with
+    | Listen -> () (* a listening worker cannot self-register twice *)
+    | Connect -> (
+        match Transport.connect cfg.sv_addr with
+        | Error e -> say "ndup redial failed: %s" e
+        | Ok tr ->
+            ignore
+              (Domain.spawn (fun () ->
+                   ignore (serve_conn cfg ~ordinal ~redial:(fun () -> ()) tr))))
+  in
+  match cfg.sv_mode with
+  | Listen -> (
+      match Transport.listen cfg.sv_addr with
+      | Error e ->
+          say "%s" e;
+          exit 2
+      | Ok l ->
+          say "listening on %s (worker %d)"
+            (Transport.addr_to_string (Transport.bound_addr l))
+            cfg.sv_id;
+          let rec accept_loop () =
+            match Transport.accept l with
+            | Error e ->
+                say "accept: %s" e;
+                accept_loop ()
+            | Ok tr ->
+                incr conns;
+                if
+                  Nemesis.conn_fault_for cfg.sv_nemesis ~worker:cfg.sv_id
+                    ~conn:!conns
+                then begin
+                  (* nrefuse: slam the door before the handshake *)
+                  Transport.close tr;
+                  accept_loop ()
+                end
+                else begin
+                  match serve_conn cfg ~ordinal ~redial:dup_redial tr with
+                  | C_quit when cfg.sv_once ->
+                      Transport.close_listener l;
+                      exit 0
+                  | C_peer when cfg.sv_once ->
+                      Transport.close_listener l;
+                      exit 0
+                  | _ -> accept_loop ()
+                end
+          in
+          accept_loop ())
+  | Connect ->
+      let rec dial_loop attempt =
+        if attempt > redial_budget then begin
+          say "supervisor unreachable after %d dials, giving up" redial_budget;
+          exit 2
+        end
+        else begin
+          incr conns;
+          if
+            Nemesis.conn_fault_for cfg.sv_nemesis ~worker:cfg.sv_id
+              ~conn:!conns
+          then begin
+            (* nrefuse, connect shape: register, then slam the door
+               before the handshake — the supervisor sees a silent
+               connection die *)
+            (match Transport.connect cfg.sv_addr with
+            | Ok tr -> Transport.close tr
+            | Error _ -> ());
+            Unix.sleepf (backoff ~id:cfg.sv_id ~attempt);
+            dial_loop (attempt + 1)
+          end
+          else
+            match Transport.connect cfg.sv_addr with
+            | Error e ->
+                say "dial %s: %s (attempt %d)"
+                  (Transport.addr_to_string cfg.sv_addr)
+                  e attempt;
+                Unix.sleepf (backoff ~id:cfg.sv_id ~attempt);
+                dial_loop (attempt + 1)
+            | Ok tr -> (
+                match serve_conn cfg ~ordinal ~redial:dup_redial tr with
+                | C_quit -> exit 0
+                | C_self ->
+                    (* our own ndrop hangup: the supervisor expects
+                       the reconnect even under --once *)
+                    Unix.sleepf (backoff ~id:cfg.sv_id ~attempt);
+                    dial_loop (attempt + 1)
+                | C_peer ->
+                    if cfg.sv_once then exit 0;
+                    Unix.sleepf (backoff ~id:cfg.sv_id ~attempt);
+                    dial_loop (attempt + 1))
+        end
+      in
+      dial_loop 1
+
+(* ------------------------------------------------------------------ *)
+(* Environment handshake (self-exec, mirrors {!Worker.maybe_run}) *)
+
+(* "id=1;mode=listen;addr=unix:/tmp/w.sock;nem=ndrop:1@2;mf=4096;once=1" *)
+let parse_env (s : string) : (cfg, string) result =
+  let fields =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let find k =
+    List.find_map
+      (fun f ->
+        match String.index_opt f '=' with
+        | Some i when String.sub f 0 i = k ->
+            Some (String.sub f (i + 1) (String.length f - i - 1))
+        | _ -> None)
+      fields
+  in
+  match (find "id", find "mode", find "addr") with
+  | None, _, _ -> Error (env_var ^ ": missing id=")
+  | _, None, _ -> Error (env_var ^ ": missing mode=")
+  | _, _, None -> Error (env_var ^ ": missing addr=")
+  | Some id, Some mode, Some addr -> (
+      match int_of_string_opt id with
+      | None -> Error (env_var ^ ": bad id")
+      | Some sv_id -> (
+          match
+            match mode with
+            | "listen" -> Ok Listen
+            | "connect" -> Ok Connect
+            | m -> Error (env_var ^ ": bad mode " ^ m)
+          with
+          | Error e -> Error e
+          | Ok sv_mode -> (
+              match Transport.addr_of_string addr with
+              | Error e -> Error (env_var ^ ": " ^ e)
+              | Ok sv_addr -> (
+                  let sv_max_frame =
+                    match find "mf" with
+                    | Some mf -> (
+                        match int_of_string_opt mf with
+                        | Some m when m >= 1 -> m
+                        | _ -> Frame.max_payload)
+                    | None -> Frame.max_payload
+                  in
+                  let sv_once = find "once" = Some "1" in
+                  match find "nem" with
+                  | None | Some "" ->
+                      Ok
+                        {
+                          sv_id;
+                          sv_mode;
+                          sv_addr;
+                          sv_nemesis = Nemesis.none;
+                          sv_max_frame;
+                          sv_once;
+                        }
+                  | Some nem -> (
+                      match Nemesis.parse nem with
+                      | Error e -> Error (env_var ^ ": " ^ e)
+                      | Ok sv_nemesis ->
+                          Ok
+                            {
+                              sv_id;
+                              sv_mode;
+                              sv_addr;
+                              sv_nemesis;
+                              sv_max_frame;
+                              sv_once;
+                            })))))
+
+(** Call right after {!Worker.maybe_run} in any binary that may serve
+    as a socket worker: if [ABC_DIST_SERVE] is set, enter the serve
+    loop and never return.  A no-op otherwise. *)
+let maybe_run () =
+  match Sys.getenv_opt env_var with
+  | None -> ()
+  | Some s -> (
+      match parse_env s with
+      | Ok cfg -> run cfg
+      | Error e ->
+          prerr_endline ("serve: " ^ e);
+          exit 2)
+
+(** The environment binding a test (or script) sets to self-exec a
+    socket worker. *)
+let env_binding ~id ~(mode : mode) ~(addr : Transport.addr)
+    ~(nemesis : Nemesis.t) ?max_frame ?(once = false) () =
+  let b = Buffer.create 64 in
+  Printf.bprintf b "%s=id=%d;mode=%s;addr=%s" env_var id
+    (match mode with Listen -> "listen" | Connect -> "connect")
+    (Transport.addr_to_string addr);
+  let nem = Nemesis.worker_spec nemesis ~worker:id in
+  if nem <> "" then Printf.bprintf b ";nem=%s" nem;
+  (match max_frame with
+  | Some m -> Printf.bprintf b ";mf=%d" m
+  | None -> ());
+  if once then Buffer.add_string b ";once=1";
+  Buffer.contents b

@@ -1,45 +1,61 @@
 (** Fault-tolerant shard supervisor.
 
     Owns the whole life of a sharded run: partition the spec into
-    {!Work.units}, spawn up to [shards] worker subprocesses (this very
-    binary, re-executed — see {!Worker.maybe_run}), dispatch units
-    lowest-id-first, validate every reply, retry what was lost, and
-    hand back the unit results {e in unit order} — at which point the
-    merge is the same pure function the serial path uses, so the
-    report is byte-identical to a serial run no matter the shard
-    count, worker deaths, or retry history.
+    {!Work.units}, provision workers, dispatch units lowest-id-first,
+    validate every reply, retry what was lost, and hand back the unit
+    results {e in unit order} — at which point the merge is the same
+    pure function the serial path uses, so the report is
+    byte-identical to a serial run no matter the worker topology,
+    deaths, or retry history.
+
+    Workers arrive on a three-rung {e degradation ladder}, each rung
+    used only while the one above has nothing left to offer:
+
+    + {e Socket workers} ([lib/net]): endpoints from [--workers] are
+      dialed through a {!Net.Registry} (health machine, reconnect
+      budget, jittered backoff), and a [--listen] address accepts
+      {e self-registering} workers started with [abc serve].  Unit
+      {e leases} tie in-flight units to endpoints so a death re-leases
+      exactly what was lost.  Dealing is capacity-weighted
+      ([host:port*4] is offered work before a [*1] peer) — weights
+      shape wall-clock only, never output, because the merge consumes
+      units in unit order.
+    + {e Subprocess workers}: this very binary re-executed over pipes
+      (see {!Worker.maybe_run}), spawned only once no socket endpoint
+      can come back.
+    + {e In-process fallback}: a {!Pool} right here, when nothing can
+      be spawned at all.
 
     Robustness mechanisms, in the order they fire:
 
-    - {e Heartbeat timeout}: a worker holding a unit that has been
-      silent longer than [heartbeat] seconds (monotonic clock — wall
-      steps cannot fake a stall) is SIGKILLed and its unit
-      re-dispatched.
-    - {e Crash / EOF}: a dead worker's unit goes back to pending with
-      {e bounded retry}: exponential backoff with deterministic
-      jitter, at most [max_attempts] dispatches per unit, then a hard
-      error naming the unit.
+    - {e Heartbeat timeout}: a worker holding a unit (or one that
+      never completed the handshake) silent longer than [heartbeat]
+      seconds (monotonic clock — wall steps cannot fake a stall) is
+      killed and its unit re-dispatched.
+    - {e Crash / EOF / connection loss}: a dead worker's unit goes
+      back to pending with {e bounded retry}: exponential backoff
+      with deterministic jitter, at most [max_attempts] dispatches
+      per unit, then a hard error naming the unit.
     - {e Frame corruption}: a reply stream that breaks the {!Frame}
-      contract is unrecoverable; the worker is quarantined (killed)
-      and its unit re-dispatched.
+      contract — including a length prefix beyond [max_frame] — is
+      unrecoverable; the worker is quarantined and its unit
+      re-dispatched.
     - {e Result validation}: every reply's payload is re-checksummed
-      by the supervisor ({!Work.payload_checksum}).  A mismatch —
-      divergent computation or silent payload damage — quarantines
-      the sender and re-runs the shard; a {e second} divergence on
-      the same shard is a hard error naming the shard's replay line.
-      Duplicate replies (late retransmits, the dup nemesis) are
-      accepted iff checksum and digest agree with the recorded
-      result, else treated as divergence.
-    - {e Respawn budget}: replacement workers (fresh ids, so nemesis
-      faults do not re-fire) are spawned as long as the budget lasts;
-      when no worker can be spawned and none survive, the remaining
-      units run {e in-process} on a {!Pool} ({!Pool.map_all_errors},
-      so a multi-unit failure reports every failing unit).
+      by the supervisor ({!Work.payload_checksum}).  A mismatch
+      quarantines the sender and re-runs the shard; a {e second}
+      divergence on the same shard is a hard error naming the shard's
+      replay line.  Duplicate replies are accepted iff checksum and
+      digest agree with the recorded result.
+    - {e Budgets}: socket endpoints get [dial_budget] connection
+      attempts each; replacement subprocesses are spawned while the
+      respawn budget lasts.
     - {e Write-ahead checkpoint}: with [checkpoint] set, each
       accepted unit is appended (CRC'd, fsync'd) to a {!Checkpoint}
       journal before counting as merged; [resume] reloads the valid
-      prefix and re-runs only what is missing, reproducing the
-      uninterrupted report exactly. *)
+      prefix and re-runs only what is missing — and re-verifies the
+      journal's campaign fingerprint at both load and reopen, so
+      mixing [--resume] with a foreign [--workers] topology can never
+      graft units from a different campaign. *)
 
 exception Dist_error of string
 
@@ -52,11 +68,19 @@ type config = {
   cf_worker_exe : string option;  (** default [Sys.executable_name] *)
   cf_max_attempts : int;
   cf_respawn_budget : int;
+  cf_endpoints : (Net.Transport.addr * int) list;
+      (** socket workers to dial, with capacity weights *)
+  cf_listen : Net.Transport.addr option;
+      (** accept self-registering [abc serve --connect] workers here *)
+  cf_connect_timeout : float;
+  cf_max_frame : int;  (** payload cap enforced before allocation *)
+  cf_dial_budget : int;  (** connect attempts per endpoint *)
 }
 
 let make_config ?(heartbeat = 30.0) ?checkpoint ?(resume = false)
     ?(nemesis = Nemesis.none) ?worker_exe ?max_attempts ?respawn_budget
-    ~shards () : config =
+    ?(endpoints = []) ?listen ?(connect_timeout = 5.0) ?max_frame
+    ?dial_budget ~shards () : config =
   if shards < 1 then invalid_arg "Dist: shards must be >= 1";
   if resume && checkpoint = None then
     invalid_arg "Dist: resume needs a checkpoint file";
@@ -70,20 +94,39 @@ let make_config ?(heartbeat = 30.0) ?checkpoint ?(resume = false)
     cf_max_attempts = (match max_attempts with Some m -> max 1 m | None -> 5);
     cf_respawn_budget =
       (match respawn_budget with Some b -> max 0 b | None -> 2 * shards);
+    cf_endpoints = endpoints;
+    cf_listen = listen;
+    cf_connect_timeout = (if connect_timeout > 0.0 then connect_timeout else 5.0);
+    cf_max_frame =
+      (match max_frame with
+      | Some m when m >= 1 -> m
+      | Some _ -> invalid_arg "Dist: max_frame must be >= 1"
+      | None -> Frame.max_payload);
+    cf_dial_budget =
+      (match dial_budget with Some b -> max 1 b | None -> Net.Registry.default_budget);
   }
 
 (* ------------------------------------------------------------------ *)
 
+(** Where a worker connection came from — it decides who may be
+    killed (only subprocesses have pids), who is reaped, and whose
+    endpoint health to update on loss. *)
+type origin =
+  | O_proc of int  (** spawned subprocess (pid) *)
+  | O_ep of int  (** dialed endpoint (registry index) *)
+  | O_accepted  (** self-registered through [--listen] *)
+
 type wrk = {
   w_id : int;
-  w_pid : int;
-  w_stdin : Unix.file_descr;  (** supervisor writes requests here *)
-  w_stdout : Unix.file_descr;  (** supervisor reads replies here *)
+  w_origin : origin;
+  w_tr : Net.Transport.t;
   w_parser : Frame.parser;
   mutable w_unit : int;  (** assigned unit id, [-1] when idle *)
   mutable w_last : float;  (** {!Mclock.now} of the last frame *)
   mutable w_dead : bool;
 }
+
+let is_socket = function O_proc _ -> false | O_ep _ | O_accepted -> true
 
 type ustate = Pending | Running of int (* worker id *) | Completed
 
@@ -129,6 +172,10 @@ type state = {
   spec : Work.spec;
   spec_bytes : string;  (** marshaled once, sent to every worker *)
   units : ust array;
+  reg : Net.Registry.t;  (** socket endpoints (may be empty) *)
+  mutable listener : Net.Transport.listener option;
+  mutable net_last : float;
+      (** {!Mclock.now} of the last sign of socket-rung life *)
   mutable workers : wrk list;  (** live or not-yet-reaped *)
   mutable next_worker_id : int;
   mutable respawns_left : int;
@@ -144,12 +191,27 @@ let pending_count st =
 
 let live_workers st = List.filter (fun w -> not w.w_dead) st.workers
 
-let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
-
 let kill_quiet pid =
   try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
 
 let reap_quiet pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let send st (w : wrk) m =
+  Net.Transport.write
+    ~deadline:(Mclock.now () +. st.cfg.cf_heartbeat)
+    w.w_tr (Frame.encode m)
+
+let endpoint_of st (w : wrk) =
+  match w.w_origin with
+  | O_ep i -> Some (Net.Registry.get st.reg i)
+  | O_proc _ | O_accepted -> None
+
+(* The worker no longer owns a unit: drop the lease mirror too. *)
+let clear_assignment st (w : wrk) =
+  (match endpoint_of st w with
+  | Some e -> Net.Registry.unlease e
+  | None -> ());
+  w.w_unit <- -1
 
 (* Put a worker's unit (if any) back on the queue with backoff. *)
 let requeue st (w : wrk) ~why =
@@ -166,27 +228,101 @@ let requeue st (w : wrk) ~why =
         obs "requeue"
           [ ("unit", Obs.I u.u_id); ("worker", Obs.I w.w_id); ("why", Obs.S why) ]
     | _ -> ());
-    w.w_unit <- -1
+    clear_assignment st w
   end
 
 let mark_dead st (w : wrk) ~why =
   if not w.w_dead then begin
     w.w_dead <- true;
     requeue st w ~why;
-    close_quiet w.w_stdin;
-    close_quiet w.w_stdout
+    Net.Transport.close w.w_tr;
+    match endpoint_of st w with
+    | Some e -> ignore (Net.Registry.mark_lost e ~why)
+    | None -> ()
   end
 
 let quarantine st (w : wrk) ~why =
   if not w.w_dead then begin
     if not st.quiet then say "worker %d quarantined: %s" w.w_id why;
     obs "quarantine" [ ("worker", Obs.I w.w_id); ("why", Obs.S why) ];
-    kill_quiet w.w_pid;
+    (match w.w_origin with
+    | O_proc pid -> kill_quiet pid
+    | O_ep _ | O_accepted -> () (* no pid to kill: dropping the
+                                    connection is the whole sanction *));
     mark_dead st w ~why
   end
 
 (* ------------------------------------------------------------------ *)
-(* Spawning and dispatch *)
+(* Provisioning: dial endpoints, accept registrations, spawn pipes *)
+
+let add_worker st ~origin ~tr =
+  let id = st.next_worker_id in
+  st.next_worker_id <- id + 1;
+  let w =
+    {
+      w_id = id;
+      w_origin = origin;
+      w_tr = tr;
+      w_parser =
+        Frame.parser_create ~await_hello:true ~max_payload:st.cfg.cf_max_frame ();
+      w_unit = -1;
+      w_last = Mclock.now ();
+      w_dead = false;
+    }
+  in
+  st.workers <- w :: st.workers;
+  if is_socket origin then st.net_last <- Mclock.now ();
+  (* the spec goes down immediately; a worker that dies before
+     reading it shows up as EOF like any other death *)
+  (match send st w (Frame.M_spec st.spec_bytes) with
+  | () -> ()
+  | exception _ -> mark_dead st w ~why:"spec write failed");
+  w
+
+(* Dial every endpoint whose backoff gate has passed.  Synchronous
+   with a deadline: localhost dials resolve in microseconds, dead
+   ports fail fast with ECONNREFUSED, and a genuinely unreachable
+   host costs at most [cf_connect_timeout] per attempt. *)
+let dial_endpoints st =
+  let now = Mclock.now () in
+  List.iter
+    (fun (e : Net.Registry.endpoint) ->
+      Net.Registry.dialing e;
+      obs "dial"
+        [
+          ("ep", Obs.I e.Net.Registry.ep_id);
+          ("attempt", Obs.I e.Net.Registry.ep_attempts);
+        ];
+      let deadline = Mclock.now () +. st.cfg.cf_connect_timeout in
+      match Net.Transport.connect ~deadline e.Net.Registry.ep_addr with
+      | Error why ->
+          if not st.quiet then say "%s" why;
+          ignore (Net.Registry.mark_lost e ~why)
+      | Ok tr ->
+          Net.Registry.mark_ready e;
+          st.net_last <- Mclock.now ();
+          let w =
+            add_worker st ~origin:(O_ep e.Net.Registry.ep_id) ~tr
+          in
+          if not st.quiet then
+            say "endpoint %d (%s) connected as worker %d"
+              e.Net.Registry.ep_id
+              (Net.Transport.addr_to_string e.Net.Registry.ep_addr)
+              w.w_id)
+    (Net.Registry.due st.reg ~now)
+
+let accept_registration st =
+  match st.listener with
+  | None -> ()
+  | Some l -> (
+      match Net.Transport.accept l with
+      | Error why -> if not st.quiet then say "accept failed: %s" why
+      | Ok tr ->
+          let w = add_worker st ~origin:O_accepted ~tr in
+          if not st.quiet then
+            say "worker %d self-registered from %s" w.w_id
+              (Net.Transport.peer tr);
+          obs "register" [ ("worker", Obs.I w.w_id) ])
 
 let spawn st =
   let exe =
@@ -194,13 +330,12 @@ let spawn st =
     | Some e -> e
     | None -> Sys.executable_name
   in
-  let id = st.next_worker_id in
-  st.next_worker_id <- id + 1;
+  let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> () in
   let child_stdin, sup_write = Unix.pipe ~cloexec:true () in
   let sup_read, child_stdout = Unix.pipe ~cloexec:true () in
   let env =
     Array.append (Unix.environment ())
-      [| Worker.env_binding ~id ~nemesis:st.cfg.cf_nemesis |]
+      [| Worker.env_binding ~id:st.next_worker_id ~nemesis:st.cfg.cf_nemesis |]
   in
   match
     Unix.create_process_env exe [| exe |] env child_stdin child_stdout
@@ -216,26 +351,13 @@ let spawn st =
   | pid ->
       close_quiet child_stdin;
       close_quiet child_stdout;
-      let w =
-        {
-          w_id = id;
-          w_pid = pid;
-          w_stdin = sup_write;
-          w_stdout = sup_read;
-          w_parser = Frame.parser_create ~await_hello:true ();
-          w_unit = -1;
-          w_last = Mclock.now ();
-          w_dead = false;
-        }
-      in
-      (* the spec goes down immediately; a worker that dies before
-         reading it shows up as EOF like any other death *)
-      (match Frame.write w.w_stdin (Frame.M_spec st.spec_bytes) with
-      | () -> ()
-      | exception _ -> mark_dead st w ~why:"spec write failed");
-      obs "spawn" [ ("worker", Obs.I id); ("pid", Obs.I pid) ];
-      st.workers <- w :: st.workers;
+      let tr = Net.Transport.of_pipe ~read_fd:sup_read ~write_fd:sup_write in
+      let w = add_worker st ~origin:(O_proc pid) ~tr in
+      obs "spawn" [ ("worker", Obs.I w.w_id); ("pid", Obs.I pid) ];
       Some w
+
+(* ------------------------------------------------------------------ *)
+(* Results *)
 
 (* Record an accepted unit result: store, checkpoint (fsync'd), count
    it merged, and let the supervisor nemesis strike. *)
@@ -308,10 +430,10 @@ let handle_result st (w : wrk) ~unit_id ~(blob_bytes : string) =
                         (digests_disagree prev.Work.b_digest blob.Work.b_digest)
               ->
                 obs "duplicate" [ ("unit", Obs.I unit_id) ];
-                if w.w_unit = unit_id then w.w_unit <- -1
+                if w.w_unit = unit_id then clear_assignment st w
             | _ -> divergence st u ~sender:(Some w) ~what:"duplicate disagrees")
         | Pending | Running _ ->
-            if w.w_unit = unit_id then w.w_unit <- -1;
+            if w.w_unit = unit_id then clear_assignment st w;
             if not valid then divergence st u ~sender:(Some w) ~what:"checksum mismatch"
             else begin
               (match u.u_blob with
@@ -334,7 +456,7 @@ let handle_msg st (w : wrk) (m : Frame.msg) =
   | Frame.M_error { unit_id; message } ->
       say "worker %d: unit %d raised: %s" w.w_id unit_id message;
       obs "worker-error" [ ("unit", Obs.I unit_id); ("worker", Obs.I w.w_id) ];
-      if w.w_unit = unit_id then w.w_unit <- -1;
+      if w.w_unit = unit_id then clear_assignment st w;
       if unit_id >= 0 && unit_id < Array.length st.units then begin
         let u = st.units.(unit_id) in
         match u.u_state with
@@ -362,21 +484,36 @@ let handle_msg st (w : wrk) (m : Frame.msg) =
 let reap st =
   List.iter
     (fun w ->
-      if not w.w_dead then
-        match Unix.waitpid [ WNOHANG ] w.w_pid with
-        | 0, _ -> ()
-        | _, _ -> mark_dead st w ~why:"worker exited"
-        | exception Unix.Unix_error _ -> mark_dead st w ~why:"worker unreachable")
+      match w.w_origin with
+      | O_proc pid when not w.w_dead -> (
+          match Unix.waitpid [ WNOHANG ] pid with
+          | 0, _ -> ()
+          | _, _ -> mark_dead st w ~why:"worker exited"
+          | exception Unix.Unix_error _ -> mark_dead st w ~why:"worker unreachable")
+      | _ -> ())
     st.workers
+
+(* Idle workers in dealing order: socket endpoints first (capacity
+   weight descending, then endpoint id), then self-registered
+   workers, then subprocesses — a deterministic preference for the
+   biggest remote boxes.  Order shapes wall-clock only; the merge is
+   in unit order regardless. *)
+let deal_order st =
+  let key w =
+    match w.w_origin with
+    | O_ep i -> (0, -(Net.Registry.get st.reg i).Net.Registry.ep_weight, w.w_id)
+    | O_accepted -> (1, 0, w.w_id)
+    | O_proc _ -> (2, 0, w.w_id)
+  in
+  live_workers st
+  |> List.filter (fun w -> w.w_unit = -1)
+  |> List.stable_sort (fun a b -> compare (key a) (key b))
 
 let dispatch st =
   let now = Mclock.now () in
-  let idle =
-    List.filter (fun w -> (not w.w_dead) && w.w_unit = -1) (live_workers st)
-  in
   List.iter
     (fun w ->
-      if w.w_unit = -1 then
+      if (not w.w_dead) && w.w_unit = -1 then
         let ready =
           Array.to_seq st.units
           |> Seq.filter (fun u ->
@@ -394,7 +531,7 @@ let dispatch st =
         | None -> ()
         | Some u -> (
             match
-              Frame.write w.w_stdin
+              send st w
                 (Frame.M_request { unit_id = u.u_id; lo = u.u_lo; hi = u.u_hi })
             with
             | () ->
@@ -402,10 +539,13 @@ let dispatch st =
                 u.u_attempts <- u.u_attempts + 1;
                 w.w_unit <- u.u_id;
                 w.w_last <- now;
+                (match endpoint_of st w with
+                | Some e -> Net.Registry.lease e ~unit_id:u.u_id
+                | None -> ());
                 obs "dispatch"
                   [ ("unit", Obs.I u.u_id); ("worker", Obs.I w.w_id) ]
             | exception _ -> mark_dead st w ~why:"request write failed"))
-    idle
+    (deal_order st)
 
 (* A pending unit that has exhausted its dispatch budget is a hard
    error — checked centrally so timeouts and deaths hit it too. *)
@@ -429,7 +569,11 @@ let check_attempts st =
 let read_ready st fds =
   List.iter
     (fun fd ->
-      match List.find_opt (fun w -> (not w.w_dead) && w.w_stdout = fd) st.workers with
+      match
+        List.find_opt
+          (fun w -> (not w.w_dead) && Net.Transport.readable_fd w.w_tr = fd)
+          st.workers
+      with
       | None -> ()
       | Some w -> (
           let buf = Bytes.create 65536 in
@@ -439,6 +583,7 @@ let read_ready st fds =
           | 0 -> mark_dead st w ~why:"eof"
           | n -> (
               Frame.feed w.w_parser buf n;
+              if is_socket w.w_origin then st.net_last <- Mclock.now ();
               let rec drain () =
                 if not w.w_dead then
                   match Frame.next w.w_parser with
@@ -451,11 +596,17 @@ let read_ready st fds =
               drain ())))
     fds
 
+(* A worker is on the clock when it holds a unit, and also while it
+   has not completed the handshake — an accepted connection that
+   never says hello must not squat forever. *)
 let check_heartbeats st =
   let now = Mclock.now () in
   List.iter
     (fun w ->
-      if (not w.w_dead) && w.w_unit >= 0 && now -. w.w_last > st.cfg.cf_heartbeat
+      if
+        (not w.w_dead)
+        && (w.w_unit >= 0 || Frame.awaiting_hello w.w_parser)
+        && now -. w.w_last > st.cfg.cf_heartbeat
       then begin
         say "worker %d silent for %.1fs on unit %d: killing" w.w_id
           (now -. w.w_last) w.w_unit;
@@ -464,9 +615,9 @@ let check_heartbeats st =
       end)
     st.workers
 
-(* In-process fallback: no worker can be spawned (or survive), so run
-   what remains on a Pool right here.  map_all_errors so one failing
-   unit does not mask the others in the diagnostic. *)
+(* In-process fallback: no worker can be provisioned on any rung, so
+   run what remains on a Pool right here.  map_all_errors so one
+   failing unit does not mask the others in the diagnostic. *)
 let fallback st =
   let remaining =
     Array.to_list st.units
@@ -507,15 +658,24 @@ let terminate st =
   List.iter
     (fun w ->
       if not w.w_dead then begin
-        (try Frame.write w.w_stdin Frame.M_quit with _ -> ());
-        close_quiet w.w_stdin;
-        close_quiet w.w_stdout;
-        kill_quiet w.w_pid;
+        (try send st w Frame.M_quit with _ -> ());
+        (match w.w_origin with
+        | O_proc pid -> kill_quiet pid
+        | O_ep _ | O_accepted -> ());
+        Net.Transport.close w.w_tr;
         w.w_dead <- true
       end)
     st.workers;
-  List.iter (fun w -> reap_quiet w.w_pid) st.workers;
+  List.iter
+    (fun w ->
+      match w.w_origin with O_proc pid -> reap_quiet pid | _ -> ())
+    st.workers;
   st.workers <- [];
+  (match st.listener with
+  | Some l ->
+      Net.Transport.close_listener l;
+      st.listener <- None
+  | None -> ());
   match st.journal with
   | Some j ->
       Checkpoint.close j;
@@ -548,6 +708,9 @@ let run_units ?(quiet = false) (cfg : config) (spec : Work.spec) : Work.blob arr
       spec;
       spec_bytes = Marshal.to_string spec [];
       units;
+      reg = Net.Registry.make ~budget:cfg.cf_dial_budget cfg.cf_endpoints;
+      listener = None;
+      net_last = Mclock.now ();
       workers = [];
       next_worker_id = 0;
       respawns_left = cfg.cf_respawn_budget;
@@ -581,14 +744,28 @@ let run_units ?(quiet = false) (cfg : config) (spec : Work.spec) : Work.blob arr
             path;
           obs "resume" [ ("units", Obs.I !recovered) ])
   | _ -> ());
-  (* open (or create) the journal for what this run will add *)
+  (* open (or create) the journal for what this run will add; reopen
+     re-verifies the campaign fingerprint (see {!Checkpoint.reopen}) *)
   (match cfg.cf_checkpoint with
   | Some path ->
       st.journal <-
         Some
-          (if cfg.cf_resume then Checkpoint.reopen ~path
+          (if cfg.cf_resume then
+             match Checkpoint.reopen ~path ~fingerprint:fp with
+             | Ok j -> j
+             | Error e -> raise (Dist_error e)
            else Checkpoint.create ~path ~fingerprint:fp)
   | None -> ());
+  (* the listener for self-registering workers, if requested *)
+  (match cfg.cf_listen with
+  | None -> ()
+  | Some addr -> (
+      match Net.Transport.listen addr with
+      | Error e -> raise (Dist_error e)
+      | Ok l ->
+          st.listener <- Some l;
+          say "accepting workers on %s"
+            (Net.Transport.addr_to_string (Net.Transport.bound_addr l))));
   let saved_sigpipe =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with _ -> None
   in
@@ -599,36 +776,64 @@ let run_units ?(quiet = false) (cfg : config) (spec : Work.spec) : Work.blob arr
       | Some h -> ( try Sys.set_signal Sys.sigpipe h with _ -> ())
       | None -> ())
     (fun () ->
+      let net_mode = cfg.cf_endpoints <> [] || st.listener <> None in
+      (* how long a bare listener keeps the socket rung alive with no
+         connection at all: enough for a worker to show up *)
+      let listen_grace = Float.max 2.0 cfg.cf_heartbeat in
+      let socket_alive now =
+        net_mode
+        && (Net.Registry.alive st.reg
+           || List.exists (fun w -> is_socket w.w_origin) (live_workers st)
+           || (st.listener <> None && now -. st.net_last <= listen_grace))
+      in
       let out_of_workers () =
-        live_workers st = [] && st.respawns_left <= 0
+        (not (socket_alive (Mclock.now ())))
+        && live_workers st = []
+        && st.respawns_left <= 0
       in
       while pending_count st > 0 && not (out_of_workers ()) do
         reap st;
-        (* keep the bench full: one live worker per outstanding unit,
-           capped at the shard count and the respawn budget *)
-        let want = min st.cfg.cf_shards (pending_count st) in
-        let spawned_any = ref true in
-        while
-          !spawned_any
-          && List.length (live_workers st) < want
-          && st.respawns_left > 0
-        do
-          st.respawns_left <- st.respawns_left - 1;
-          spawned_any := spawn st <> None
-        done;
+        dial_endpoints st;
+        (* subprocess rung: only once the socket rung has nothing
+           left (never-degraded pipe-only runs take it immediately) *)
+        if not (socket_alive (Mclock.now ())) then begin
+          let want = min st.cfg.cf_shards (pending_count st) in
+          let spawned_any = ref true in
+          while
+            !spawned_any
+            && List.length (live_workers st) < want
+            && st.respawns_left > 0
+          do
+            st.respawns_left <- st.respawns_left - 1;
+            spawned_any := spawn st <> None
+          done
+        end;
         check_attempts st;
         dispatch st;
-        let fds = List.map (fun w -> w.w_stdout) (live_workers st) in
-        (if fds = [] then Unix.sleepf 0.01
+        let wfds =
+          List.map (fun w -> Net.Transport.readable_fd w.w_tr) (live_workers st)
+        in
+        let lfds =
+          match st.listener with
+          | Some l -> [ Net.Transport.listener_fd l ]
+          | None -> []
+        in
+        (if wfds = [] && lfds = [] then Unix.sleepf 0.01
          else
-           match Unix.select fds [] [] 0.05 with
-           | readable, _, _ -> read_ready st readable
+           match Unix.select (lfds @ wfds) [] [] 0.05 with
+           | readable, _, _ ->
+               let accepts, worker_fds =
+                 List.partition (fun fd -> List.mem fd lfds) readable
+               in
+               List.iter (fun _ -> accept_registration st) accepts;
+               read_ready st worker_fds
            | exception Unix.Unix_error (EINTR, _, _) -> ());
         check_heartbeats st;
         if Sys.getenv_opt "ABC_DIST_DEBUG" <> None then
-          say "loop: pending=%d live=%d units=[%s] workers=[%s]"
+          say "loop: pending=%d live=%d reg=[%s] units=[%s] workers=[%s]"
             (pending_count st)
             (List.length (live_workers st))
+            (Net.Registry.summary st.reg)
             (String.concat ";"
                (Array.to_list
                   (Array.map
@@ -648,7 +853,7 @@ let run_units ?(quiet = false) (cfg : config) (spec : Work.spec) : Work.blob arr
                       w.w_unit)
                   st.workers))
       done;
-      (* anything left means every transport died: degrade gracefully *)
+      (* anything left means every rung above died: degrade gracefully *)
       fallback st;
       Array.map
         (fun u ->

@@ -39,6 +39,35 @@ let send io m =
 
 let kill_self () = Unix.kill (Unix.getpid ()) Sys.sigkill
 
+(* {!Obs.capture} is process-global (one start/drain pair at a time),
+   so unit executions must never overlap within a process — the pipe
+   worker is single-threaded anyway, but the socket worker ({!Serve})
+   can hold several connections (the duplicate-registration nemesis),
+   and an interleaved capture would corrupt both shard digests. *)
+let exec_lock = Mutex.create ()
+
+(** Compute the reply for one unit request — shared between the pipe
+    worker below and the socket worker ({!Serve}).  A raising unit
+    becomes [M_error] (the worker itself stays up); [flip] corrupts
+    the verdict checksum, the divergent-shard nemesis. *)
+let exec_reply (sp : Work.spec) ~unit_id ~lo ~hi ~flip : Frame.msg =
+  Mutex.lock exec_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock exec_lock)
+    (fun () ->
+      match Work.exec_unit sp ~unit_id ~lo ~hi ~capture:true with
+      | exception e -> Frame.M_error { unit_id; message = Printexc.to_string e }
+      | blob ->
+          let blob =
+            if flip then
+              {
+                blob with
+                Work.b_checksum = Digest.to_hex (Digest.string "divergent");
+              }
+            else blob
+          in
+          Frame.M_done { unit_id; blob = Work.encode_blob blob })
+
 let run ~id ~(nemesis : Nemesis.t) : 'a =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* stdout IS the frame channel: claim the fd, then repoint fd 1 at
@@ -105,36 +134,17 @@ let run ~id ~(nemesis : Nemesis.t) : 'a =
                    the supervisor must abandon this stream *)
                 Frame.write_garbage io.fd;
                 loop ()
-            | fault -> (
-                match Work.exec_unit sp ~unit_id ~lo ~hi ~capture:true with
-                | exception e ->
-                    send io
-                      (Frame.M_error
-                         { unit_id; message = Printexc.to_string e });
-                    loop ()
-                | blob ->
-                    let blob =
-                      match fault with
-                      | Some Nemesis.Flip ->
-                          (* divergent shard: framing and marshaling are
-                             intact, the verdict checksum is not *)
-                          {
-                            blob with
-                            Work.b_checksum =
-                              Digest.to_hex (Digest.string "divergent");
-                          }
-                      | _ -> blob
-                    in
-                    let reply =
-                      Frame.M_done
-                        { unit_id; blob = Work.encode_blob blob }
-                    in
-                    send io reply;
-                    (match fault with
-                    | Some Nemesis.Dup -> send io reply (* the late duplicate *)
-                    | Some Nemesis.Kill -> kill_self () (* at the shard boundary *)
-                    | _ -> ());
-                    loop ())))
+            | fault ->
+                let reply =
+                  exec_reply sp ~unit_id ~lo ~hi
+                    ~flip:(fault = Some Nemesis.Flip)
+                in
+                send io reply;
+                (match fault with
+                | Some Nemesis.Dup -> send io reply (* the late duplicate *)
+                | Some Nemesis.Kill -> kill_self () (* at the shard boundary *)
+                | _ -> ());
+                loop ()))
   in
   loop ()
 

@@ -113,7 +113,11 @@ let checkpoint_tests =
       (fun () ->
         with_tmp (fun path ->
             fresh_journal path;
-            let j = Dist.Checkpoint.reopen ~path in
+            let j =
+              match Dist.Checkpoint.reopen ~path ~fingerprint:fp_a with
+              | Ok j -> j
+              | Error e -> Alcotest.failf "reopen failed: %s" e
+            in
             Dist.Checkpoint.append j ~unit_id:0 ~blob:"unit-zero-rerun";
             Dist.Checkpoint.close j;
             match Dist.Checkpoint.load ~path ~fingerprint:fp_a with
@@ -177,6 +181,12 @@ let checkpoint_tests =
             | Error e ->
                 if not (String.length e > 0) then Alcotest.fail "empty error"
             | Ok _ -> Alcotest.fail "foreign campaign's journal accepted"));
+    Alcotest.test_case "reopen re-verifies the fingerprint" `Quick (fun () ->
+        with_tmp (fun path ->
+            fresh_journal path;
+            match Dist.Checkpoint.reopen ~path ~fingerprint:fp_b with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "reopened a foreign campaign's journal"));
   ]
 
 (* ------------------------------------------------------------------ *)
